@@ -1,0 +1,63 @@
+"""Ablation: the all-port/edge-symmetry contribution under pure unicast.
+
+With beta=0 the broadcast mechanism never fires, so any Quarc advantage
+comes from the remaining two modifications: the four injection queues
+(no head-of-line blocking at the source) and the doubled cross link.
+The paper claims "the unicast latency is overall at least a factor of 2
+lower"; under pure unicast the gap is smaller but must stay strictly in
+the Quarc's favour and widen with load (queueing at the single port).
+
+A buffer-depth sweep is included as a secondary ablation: the saturation
+knee must move up with deeper lanes for both networks (wormhole blocking
+relaxes), a design-space check DESIGN.md calls out.
+"""
+
+from repro.experiments.latency import run_point
+from repro.traffic.workload import WorkloadSpec
+
+from conftest import emit
+
+
+def _run():
+    rows = []
+    for rate in (0.005, 0.015, 0.025):
+        for kind in ("quarc", "spidergon"):
+            spec = WorkloadSpec(kind=kind, n=16, msg_len=16, beta=0.0,
+                                rate=rate, cycles=8_000, warmup=2_000,
+                                seed=5)
+            s = run_point(spec)
+            rows.append({"kind": kind, "rate": rate, "depth": 4,
+                         "unicast_lat": round(s.unicast_mean, 1),
+                         "saturated": int(s.saturated)})
+    for depth in (2, 8):
+        for kind in ("quarc", "spidergon"):
+            spec = WorkloadSpec(kind=kind, n=16, msg_len=16, beta=0.0,
+                                rate=0.015, cycles=8_000, warmup=2_000,
+                                seed=5, buffer_depth=depth)
+            s = run_point(spec)
+            rows.append({"kind": kind, "rate": 0.015, "depth": depth,
+                         "unicast_lat": round(s.unicast_mean, 1),
+                         "saturated": int(s.saturated)})
+    return rows
+
+
+def test_ablation_allport(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit("ablation_allport", rows,
+         title="Ablation: pure-unicast (beta=0) and buffer depth")
+
+    def lat(kind, rate, depth=4):
+        for r in rows:
+            if (r["kind"], r["rate"], r["depth"]) == (kind, rate, depth):
+                return r["unicast_lat"]
+        raise KeyError((kind, rate, depth))
+
+    # Quarc wins at every load even without broadcast in play
+    for rate in (0.005, 0.015, 0.025):
+        assert lat("quarc", rate) < lat("spidergon", rate), rate
+    # and the gap widens as the single injection port congests
+    gap_lo = lat("spidergon", 0.005) - lat("quarc", 0.005)
+    gap_hi = lat("spidergon", 0.025) - lat("quarc", 0.025)
+    assert gap_hi > gap_lo
+    # deeper lanes relieve wormhole blocking at moderate load
+    assert lat("quarc", 0.015, depth=8) <= lat("quarc", 0.015, depth=2)

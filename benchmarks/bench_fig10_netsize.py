@@ -1,0 +1,42 @@
+"""Fig. 10: Quarc vs Spidergon for N in {16, 32, 64} (M=16, beta=10%),
+simulation overlaid with the analytical models.
+
+Shape assertions:
+
+* Quarc wins unicast and broadcast at every network size;
+* the broadcast gap *widens* with N (Quarc scales as N/4 + M, Spidergon
+  as (N/2) * M) and exceeds an order of magnitude by N=64;
+* at light load, simulation and analytical model agree within 35%
+  (the paper's Fig. 10 shows the same sim-vs-analysis agreement).
+"""
+
+from repro.experiments.figures import run_fig10
+
+from conftest import emit, finite
+
+
+def test_fig10_netsize(benchmark):
+    rows = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    emit("fig10_netsize", rows, plot_metric="unicast_lat",
+         title="Fig. 10: M=16, beta=10%, N in {16,32,64}")
+
+    gap_by_n = {}
+    for n in (16, 32, 64):
+        cfg = f"N={n}"
+        q_uni = finite(rows, "quarc", "unicast_lat", cfg)
+        s_uni = finite(rows, "spidergon", "unicast_lat", cfg)
+        q_bc = finite(rows, "quarc", "bcast_lat", cfg)
+        s_bc = finite(rows, "spidergon", "bcast_lat", cfg)
+        assert q_uni and s_uni and q_bc and s_bc, cfg
+        for q, s in zip(q_uni, s_uni):
+            assert q < s, cfg
+        gap_by_n[n] = s_bc[0] / q_bc[0]    # lightest-load gap
+
+        # light-load agreement with the analytical overlay
+        model_uni = finite(rows, "quarc-model", "unicast_lat", cfg)
+        assert model_uni
+        assert abs(q_uni[0] - model_uni[0]) / model_uni[0] < 0.35, cfg
+
+    # the broadcast gap widens with N and reaches ~an order of magnitude
+    assert gap_by_n[64] > gap_by_n[16]
+    assert gap_by_n[64] > 8.0

@@ -1,0 +1,49 @@
+"""Fig. 11: Quarc vs Spidergon for beta in {0%, 5%, 10%} (N=64, M=16).
+
+Shape assertions:
+
+* injecting broadcast traffic barely moves the Quarc's unicast curves
+  ("the adverse impact ... is hardly appreciable");
+* the same broadcast injection severely degrades the Spidergon --
+  its unicast latency inflates far more and it saturates earlier
+  ("severely reduces the sustainable load in the network").
+"""
+
+from repro.experiments.figures import run_fig11
+
+from conftest import emit, finite
+
+
+def test_fig11_broadcast(benchmark):
+    rows = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    emit("fig11_broadcast", rows, plot_metric="unicast_lat",
+         title="Fig. 11: N=64, M=16, beta in {0,5,10}%")
+
+    # compare the lightest-load point across betas (always measured)
+    def first_uni(noc, beta):
+        vals = finite(rows, noc, "unicast_lat", f"beta={beta:g}")
+        assert vals, (noc, beta)
+        return vals[0]
+
+    q0, q10 = first_uni("quarc", 0.0), first_uni("quarc", 0.10)
+    s0, s10 = first_uni("spidergon", 0.0), first_uni("spidergon", 0.10)
+
+    # Quarc: hardly appreciable impact at light load
+    assert q10 < 1.6 * q0
+    # Spidergon: relay storms visibly inflate unicast latency, and
+    # strictly more than they inflate the Quarc's
+    assert s10 / s0 > q10 / q0
+    assert s10 > 1.25 * s0
+
+    # sustainable load: count unsaturated measured points per curve
+    def measured_points(noc, beta):
+        return len(finite(rows, noc, "unicast_lat", f"beta={beta:g}"))
+
+    assert measured_points("quarc", 0.10) >= measured_points(
+        "spidergon", 0.10)
+    # Quarc beats Spidergon pointwise at every beta
+    for beta in (0.0, 0.05, 0.10):
+        q = finite(rows, "quarc", "unicast_lat", f"beta={beta:g}")
+        s = finite(rows, "spidergon", "unicast_lat", f"beta={beta:g}")
+        for a, b in zip(q, s):
+            assert a < b, beta

@@ -1,0 +1,37 @@
+"""Fig. 9: Quarc vs Spidergon latency for M in {8, 16, 32} (N=16, beta=5%).
+
+Shape assertions (the paper's claims, not its absolute OMNeT++ numbers):
+
+* Quarc unicast latency below Spidergon's at every common finite point;
+* Quarc broadcast latency several times below Spidergon's everywhere
+  (approaching an order of magnitude as load grows);
+* both networks' latency rises with injection rate.
+"""
+
+from repro.experiments.figures import run_fig9
+
+from conftest import emit, finite
+
+
+def test_fig9_msglen(benchmark):
+    rows = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    emit("fig9_msglen", rows, plot_metric="bcast_lat",
+         title="Fig. 9: N=16, beta=5%, M in {8,16,32}")
+
+    for m in (8, 16, 32):
+        cfg = f"M={m}"
+        q_uni = finite(rows, "quarc", "unicast_lat", cfg)
+        s_uni = finite(rows, "spidergon", "unicast_lat", cfg)
+        q_bc = finite(rows, "quarc", "bcast_lat", cfg)
+        s_bc = finite(rows, "spidergon", "bcast_lat", cfg)
+        assert q_uni and s_uni and q_bc and s_bc, cfg
+
+        # pointwise unicast win over the common measured prefix
+        for q, s in zip(q_uni, s_uni):
+            assert q < s, cfg
+        # broadcast win by a large factor at every common point
+        for q, s in zip(q_bc, s_bc):
+            assert s > 3 * q, cfg
+        # latency grows with offered load
+        assert q_uni[-1] > q_uni[0]
+        assert s_uni[-1] > s_uni[0]

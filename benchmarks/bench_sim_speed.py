@@ -1,0 +1,46 @@
+"""Engine throughput: simulator cycles/second and flit-hops/second.
+
+Not a paper artefact -- this tracks the reproduction's own performance so
+regressions in the hot path (ports.arbitrate / router.commit_move) are
+caught.  pytest-benchmark runs the kernel repeatedly here, unlike the
+figure benches which run once.
+"""
+
+from repro.core.api import build_network
+from repro.traffic.mix import TrafficMix
+
+
+def _loaded_network(kind: str, n: int):
+    net, _ = build_network(kind, n)
+    mix = TrafficMix(net, rate=0.02, msg_len=16, beta=0.05, seed=1)
+    # warm the network into steady state before measuring the kernel
+    for t in range(500):
+        mix.generate(t)
+        net.step(t)
+    return net, mix
+
+
+def _run_chunk(net, mix, cycles=200):
+    start = net.cycle
+    for t in range(start, start + cycles):
+        mix.generate(t)
+        net.step(t)
+    return net.flits_moved
+
+
+def test_speed_quarc16(benchmark):
+    net, mix = _loaded_network("quarc", 16)
+    benchmark(_run_chunk, net, mix)
+    assert net.total_flits() >= 0     # smoke: network still consistent
+
+
+def test_speed_spidergon16(benchmark):
+    net, mix = _loaded_network("spidergon", 16)
+    benchmark(_run_chunk, net, mix)
+    assert net.total_flits() >= 0
+
+
+def test_speed_quarc64(benchmark):
+    net, mix = _loaded_network("quarc", 64)
+    benchmark(_run_chunk, net, mix)
+    assert net.total_flits() >= 0

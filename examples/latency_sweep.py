@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""A miniature Fig.-9-style latency/load sweep with an ASCII plot.
+
+Sweeps injection rate on Quarc and Spidergon (N=16, M=16, beta=5%) and
+renders latency-vs-load curves in the terminal, including the analytical
+model's saturation estimate for context.
+
+Run:  python examples/latency_sweep.py
+"""
+
+from repro.analysis import saturation_rate
+from repro.experiments.ascii_plot import ascii_curves
+from repro.experiments.csvout import format_table
+from repro.experiments.figures import curves_from_rows, latency_rows
+from repro.experiments.sweep import compare_networks
+
+N, M, BETA = 16, 16, 0.05
+
+
+def main() -> None:
+    rates = [round(r * 0.004, 4) for r in range(1, 6)]
+    print(f"sweeping N={N} M={M} beta={BETA:g} at rates {rates}")
+    for kind in ("quarc", "spidergon"):
+        print(f"  analytic saturation ({kind}): "
+              f"{saturation_rate(kind, N, M, BETA):.4f} msg/node/cycle")
+
+    results = compare_networks(N, M, BETA, rates=rates,
+                               cycles=8_000, warmup=2_000, verbose=True)
+    rows = latency_rows(results, config_label=f"N={N} M={M}")
+
+    print()
+    print(format_table(rows, columns=["noc", "rate", "unicast_lat",
+                                      "bcast_lat", "accepted",
+                                      "saturated"]))
+    for metric, label in (("unicast_lat", "unicast"),
+                          ("bcast_lat", "broadcast")):
+        print()
+        print(ascii_curves(curves_from_rows(rows, metric),
+                           title=f"{label} latency vs offered load"))
+
+
+if __name__ == "__main__":
+    main()

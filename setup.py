@@ -1,0 +1,6 @@
+"""Setup shim: the offline environment lacks the `wheel` package, so
+PEP-517 editable installs fail; `pip install -e . --no-build-isolation`
+falls back to this legacy path (setup.cfg/pyproject carry the metadata)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""Analytical latency/saturation models.
+
+The paper verified its simulator "extensively against analytical models
+for the Spidergon and mesh topologies employing wormhole routing" [8] and
+plots analysis curves alongside simulation in Fig. 10.  This package
+provides the equivalent closed-form machinery:
+
+* :mod:`repro.analysis.loads` -- exact per-resource load coefficients
+  (injection channels, rim links, spokes, ejection channels) per unit
+  injection rate, computed by enumerating the deterministic routes.
+* :mod:`repro.analysis.wormhole` -- the M/G/1-style channel-waiting
+  approximation shared by all models.
+* :mod:`repro.analysis.models` -- latency predictions and saturation
+  rates for Quarc, Spidergon and mesh/torus.
+"""
+
+from repro.analysis.loads import stage_coefficients, uniform_link_loads
+from repro.analysis.models import (
+    predict_broadcast_latency,
+    predict_unicast_latency,
+    saturation_rate,
+)
+from repro.analysis.wormhole import mg1_wait, utilisation
+
+__all__ = [
+    "stage_coefficients",
+    "uniform_link_loads",
+    "predict_unicast_latency",
+    "predict_broadcast_latency",
+    "saturation_rate",
+    "mg1_wait",
+    "utilisation",
+]

@@ -1,0 +1,110 @@
+"""Closed-form latency predictions and saturation rates.
+
+Latency decomposition for a wormhole unicast (cf. [8]):
+
+    L(lambda) = t_adapter + W_inj + H * t_hop + (M - 1) + W_net + W_ej
+
+with H the average hop count, one cycle per hop for the header,
+``M - 1`` serialisation cycles for the rest of the worm, and W_* the
+M/G/1 waits at the injection channel, along the network path (the
+busiest-class wait weighted by path length) and at the ejection channel.
+
+Broadcast:
+
+* **Quarc** -- all four branches pipeline concurrently; completion is
+  governed by the longest branch (q hops):
+  ``L = t_adapter + W_inj + q * t_hop + (M - 1) + W_net + W_ej``.
+* **Spidergon** -- the CW relay chain is sequential *and*
+  store-and-forward at every hop: each of ceil((N-1)/2) segments costs a
+  full packet time plus ejection/re-injection overhead:
+  ``L = c_cw * (M + t_relay + W_rim + W_ej) + W_inj``.
+
+These expressions reproduce the paper's qualitative claims exactly: the
+order-of-magnitude broadcast gap (q + M vs (N/2) * M), the >=2x unicast
+gap from the injection/ejection serialisation, and the collapse of
+Spidergon's sustainable load as beta grows (its ejection coefficient
+scales with beta * N).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.loads import stage_coefficients
+from repro.analysis.wormhole import INFINITE_LATENCY, mg1_wait
+from repro.topologies.mesh import MeshTopology
+from repro.topologies.quarc import QuarcTopology
+from repro.topologies.spidergon import SpidergonTopology
+from repro.topologies.torus import TorusTopology
+
+__all__ = ["saturation_rate", "predict_unicast_latency",
+           "predict_broadcast_latency", "average_hops"]
+
+#: adapter pipeline cycles (write controller + quadrant calc / queueing)
+T_ADAPTER = 1.0
+#: per-relay-hop overhead in the Spidergon broadcast chain (header
+#: rewrite + re-injection handshake)
+T_RELAY = 2.0
+
+
+def average_hops(kind: str, n: int, cols: int = 0) -> float:
+    """Mean shortest-route hops under uniform traffic."""
+    if kind == "quarc":
+        return QuarcTopology(n).average_hops()
+    if kind == "spidergon":
+        return SpidergonTopology(n).average_hops()
+    if kind == "mesh":
+        return MeshTopology(n, cols).average_hops()
+    if kind == "torus":
+        return TorusTopology(n, cols).average_hops()
+    raise ValueError(f"unknown kind {kind!r}")
+
+
+def saturation_rate(kind: str, n: int, msg_len: int,
+                    beta: float = 0.0) -> float:
+    """Injection rate at which the busiest resource reaches rho = 1."""
+    coeffs = stage_coefficients(kind, n, msg_len, beta)
+    worst = max(coeffs.values())
+    if worst <= 0:
+        raise ValueError("degenerate workload: zero load everywhere")
+    return 1.0 / worst
+
+
+def _stage_waits(coeffs: Dict[str, float], rate: float,
+                 msg_len: int) -> Dict[str, float]:
+    service = float(msg_len)
+    return {name: mg1_wait(rate * c, service) for name, c in coeffs.items()}
+
+
+def predict_unicast_latency(kind: str, n: int, msg_len: int, beta: float,
+                            rate: float) -> float:
+    """Mean unicast latency in cycles; ``inf`` at/past saturation."""
+    coeffs = stage_coefficients(kind, n, msg_len, beta)
+    waits = _stage_waits(coeffs, rate, msg_len)
+    if any(w == INFINITE_LATENCY for w in waits.values()):
+        return INFINITE_LATENCY
+    hops = average_hops(kind, n)
+    # network wait: contention at the dominant link class, felt once per
+    # worm (downstream blocking is absorbed by the same wait)
+    w_net = max(waits["rim"], waits["cross"])
+    return (T_ADAPTER + waits["injection"] + hops + (msg_len - 1)
+            + w_net + waits["ejection"])
+
+
+def predict_broadcast_latency(kind: str, n: int, msg_len: int, beta: float,
+                              rate: float) -> float:
+    """Mean broadcast *completion* latency; ``inf`` at/past saturation."""
+    coeffs = stage_coefficients(kind, n, msg_len, beta)
+    waits = _stage_waits(coeffs, rate, msg_len)
+    if any(w == INFINITE_LATENCY for w in waits.values()):
+        return INFINITE_LATENCY
+    if kind == "quarc":
+        q = n // 4
+        longest_branch = q  # RIGHT/LEFT/XLEFT branches are all q hops
+        return (T_ADAPTER + waits["injection"] + longest_branch
+                + (msg_len - 1) + waits["rim"] + waits["ejection"])
+    if kind == "spidergon":
+        c_cw = (n - 1 + 1) // 2            # sequential CW chain length
+        per_segment = (msg_len + T_RELAY + waits["rim"] + waits["ejection"])
+        return T_ADAPTER + waits["injection"] + c_cw * per_segment
+    raise ValueError(f"no broadcast model for kind {kind!r}")

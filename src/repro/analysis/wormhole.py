@@ -1,0 +1,54 @@
+"""Shared wormhole queueing approximations.
+
+Following the modelling style of Moadeli et al.'s Spidergon analysis [8],
+each contended resource (injection channel, network channel, ejection
+channel) is treated as an M/G/1-like server whose customers are whole
+packets of deterministic service time ~M flit-cycles.  The mean waiting
+time uses the Pollaczek-Khinchine form with deterministic service:
+
+    W(rho) = rho * S * (1 + C_s^2) / (2 * (1 - rho))
+
+with squared service variability ``C_s^2 = 0`` (fixed-length packets), so
+``W = rho * S / (2 (1 - rho))``.  Past ``rho >= 1`` the wait is infinite
+-- the saturation asymptote the latency figures show as a vertical knee.
+
+This is an approximation, not an exact wormhole analysis: blocking in
+wormhole networks is correlated across stages.  The reproduction uses it
+the same way the paper uses its models -- to predict curve shapes,
+low-load intercepts and saturation points, all of which the test-suite
+cross-validates against the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["utilisation", "mg1_wait", "INFINITE_LATENCY"]
+
+#: Returned by the predictors for loads at/po saturation.
+INFINITE_LATENCY = math.inf
+
+
+def utilisation(rate: float, coefficient: float) -> float:
+    """Resource utilisation rho = rate * coefficient.
+
+    ``coefficient`` is the expected flit-cycles the resource serves per
+    generated message per node per cycle (see
+    :func:`repro.analysis.loads.stage_coefficients`).
+    """
+    if rate < 0 or coefficient < 0:
+        raise ValueError("rate and coefficient must be non-negative")
+    return rate * coefficient
+
+def mg1_wait(rho: float, service: float) -> float:
+    """Mean M/G/1 waiting time with deterministic service ``service``.
+
+    Returns ``inf`` for rho >= 1 (saturated server).
+    """
+    if service < 0:
+        raise ValueError("service time must be non-negative")
+    if rho < 0:
+        raise ValueError("utilisation must be non-negative")
+    if rho >= 1.0:
+        return INFINITE_LATENCY
+    return rho * service / (2.0 * (1.0 - rho))

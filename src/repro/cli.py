@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+info
+    Topology statistics and analytical saturation for a network.
+sweep
+    One latency/load sweep with ASCII plots (a terminal Fig. 9 panel).
+point
+    A single simulation point, printed as a row.
+table1 / fig12
+    The area-model artefacts.
+fig9 / fig10 / fig11
+    Regenerate a full figure's rows to CSV (same drivers the benchmarks
+    use; pass --full for the big grids).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.analysis import saturation_rate, stage_coefficients
+from repro.analysis.models import average_hops
+from repro.core.api import NETWORK_KINDS
+from repro.experiments.ascii_plot import ascii_curves
+from repro.experiments.csvout import format_table, write_csv
+from repro.experiments.figures import (curves_from_rows, latency_rows,
+                                       run_fig9, run_fig10, run_fig11,
+                                       run_fig12, run_table1)
+from repro.experiments.latency import run_point
+from repro.experiments.sweep import compare_networks, default_rates
+from repro.traffic.workload import WorkloadSpec
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Quarc NoC reproduction (Moadeli et al., IPDPS 2009)")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def add_net_args(sp, kinds=True):
+        if kinds:
+            sp.add_argument("--kind", choices=NETWORK_KINDS,
+                            default="quarc")
+        sp.add_argument("-n", "--nodes", type=int, default=16)
+        sp.add_argument("-M", "--msg-len", type=int, default=16)
+        sp.add_argument("--beta", type=float, default=0.05,
+                        help="broadcast fraction")
+        sp.add_argument("--seed", type=int, default=1)
+        sp.add_argument("--cycles", type=int, default=8000)
+        sp.add_argument("--warmup", type=int, default=2000)
+
+    sp = sub.add_parser("info", help="topology + analytic model summary")
+    add_net_args(sp)
+
+    sp = sub.add_parser("sweep", help="latency/load sweep with ASCII plot")
+    add_net_args(sp, kinds=False)
+    sp.add_argument("--points", type=int, default=5)
+    sp.add_argument("--csv", default="", help="write rows to this CSV")
+
+    sp = sub.add_parser("point", help="one simulation point")
+    add_net_args(sp)
+    sp.add_argument("--rate", type=float, required=True,
+                    help="messages/node/cycle")
+
+    sub.add_parser("table1", help="Table 1: Quarc module slices")
+    sub.add_parser("fig12", help="Fig. 12: area vs flit width")
+    for fig in ("fig9", "fig10", "fig11"):
+        sp = sub.add_parser(fig, help=f"regenerate {fig} rows")
+        sp.add_argument("--full", action="store_true",
+                        help="full grids (slow)")
+        sp.add_argument("--csv", default="",
+                        help="output CSV path (default results/<fig>.csv)")
+    return p
+
+
+def _cmd_info(args) -> int:
+    print(f"{args.kind} N={args.nodes}: "
+          f"avg hops {average_hops(args.kind, args.nodes):.3f}")
+    if args.kind in ("quarc", "spidergon"):
+        coeffs = stage_coefficients(args.kind, args.nodes, args.msg_len,
+                                    args.beta)
+        sat = saturation_rate(args.kind, args.nodes, args.msg_len,
+                              args.beta)
+        print(f"load coefficients (M={args.msg_len}, beta={args.beta:g}):")
+        for name, c in sorted(coeffs.items(), key=lambda kv: -kv[1]):
+            print(f"  {name:<10s} {c:8.2f} flit-cycles/msg "
+                  f"{'<- binding' if c == max(coeffs.values()) else ''}")
+        print(f"analytic saturation: {sat:.5f} msg/node/cycle "
+              f"(simulated knee ~0.55-0.7x of this)")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    rates = default_rates(args.nodes, args.msg_len, args.beta, args.points)
+    results = compare_networks(args.nodes, args.msg_len, args.beta,
+                               rates=rates, cycles=args.cycles,
+                               warmup=args.warmup, seed=args.seed,
+                               verbose=True)
+    rows = latency_rows(results,
+                        f"N={args.nodes} M={args.msg_len} b={args.beta:g}")
+    print()
+    print(format_table(rows, columns=["noc", "rate", "unicast_lat",
+                                      "bcast_lat", "accepted",
+                                      "saturated"]))
+    for metric in ("unicast_lat", "bcast_lat"):
+        print()
+        print(ascii_curves(curves_from_rows(rows, metric), title=metric))
+    if args.csv:
+        print(f"[csv] {write_csv(rows, args.csv)}")
+    return 0
+
+
+def _cmd_point(args) -> int:
+    spec = WorkloadSpec(kind=args.kind, n=args.nodes, msg_len=args.msg_len,
+                        beta=args.beta, rate=args.rate, cycles=args.cycles,
+                        warmup=args.warmup, seed=args.seed)
+    s = run_point(spec)
+    print(format_table([s.row()]))
+    return 0
+
+
+def _cmd_figure(args, fig: str) -> int:
+    runner = {"fig9": run_fig9, "fig10": run_fig10, "fig11": run_fig11}[fig]
+    if args.full:
+        os.environ["REPRO_BENCH_FULL"] = "1"
+    rows = runner()
+    path = args.csv or os.path.join("results", f"{fig}.csv")
+    print(format_table(rows))
+    print(f"[csv] {write_csv(rows, path)}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    cmd = args.command
+    if cmd == "info":
+        return _cmd_info(args)
+    if cmd == "sweep":
+        return _cmd_sweep(args)
+    if cmd == "point":
+        return _cmd_point(args)
+    if cmd == "table1":
+        print(format_table(run_table1()))
+        return 0
+    if cmd == "fig12":
+        print(format_table(run_fig12()))
+        return 0
+    if cmd in ("fig9", "fig10", "fig11"):
+        return _cmd_figure(args, cmd)
+    raise AssertionError(f"unhandled command {cmd}")   # pragma: no cover
+
+
+if __name__ == "__main__":      # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""The paper's contribution: the Quarc NoC, plus its Spidergon baseline.
+
+* :mod:`repro.core.quadrant` -- the quadrant calculator, the *only*
+  routing decision in the whole Quarc NoC (made in the transceiver).
+* :mod:`repro.core.packet_format` -- the bit-exact 34-bit flit formats of
+  Fig. 7 (header/body/tail, traffic-type field, multicast bitstring,
+  multi-flit headers for networks beyond 64 nodes).
+* :mod:`repro.core.quarc_router` -- the all-port Quarc switch: four
+  network ingress ports, four local ingress ports, clone-capable ingress
+  multiplexers, no routing logic, no output buffers.
+* :mod:`repro.core.quarc_transceiver` -- the network adapter of Sec. 2.4:
+  write controller, quadrant calculator, four quadrant buffers.
+* :mod:`repro.core.spidergon_router` / ``spidergon_adapter`` -- the
+  baseline: one-port router, single spoke, broadcast-by-unicast with
+  header rewriting and re-injection.
+* :mod:`repro.core.dor_router` -- mesh/torus dimension-order routers for
+  the paper's future-work comparison.
+* :mod:`repro.core.collector` -- warmup-aware latency/throughput
+  accounting shared by all adapters.
+* :mod:`repro.core.api` -- `build_network` and friends, the public entry
+  points.
+"""
+
+from repro.core.api import build_network, NETWORK_KINDS
+from repro.core.collector import LatencyCollector
+from repro.core.quadrant import QuadrantCalculator
+from repro.core.quarc_router import QuarcRouter
+from repro.core.quarc_transceiver import QuarcTransceiver
+from repro.core.spidergon_router import SpidergonRouter
+from repro.core.spidergon_adapter import SpidergonAdapter
+
+__all__ = [
+    "build_network",
+    "NETWORK_KINDS",
+    "LatencyCollector",
+    "QuadrantCalculator",
+    "QuarcRouter",
+    "QuarcTransceiver",
+    "SpidergonRouter",
+    "SpidergonAdapter",
+]

@@ -1,0 +1,243 @@
+"""Bit-exact Quarc flit formats (paper Fig. 7).
+
+"For a Quarc NoC employing flit size of 34 bits various flit types
+composing a packet are depicted in Fig. 7.  Bits [1:0] denote the flit
+types namely: header, body and tail.  And the last 3 bits of header flits
+represent traffic types" (Sec. 2.6).
+
+Concretely, for a payload width W (16/32/64 in the paper's synthesis
+sweep; the wire flit is W+2 bits including the type field):
+
+=========== =====================================================
+bits        field
+=========== =====================================================
+[1:0]       flit type: 00 header, 01 body, 10 tail, 11 head+tail
+header flits additionally:
+[7:2]       destination address (6 bits -- "network size may be up
+            to 64 nodes")
+[13:8]      source address
+[21:14]     packet length in flits (M, up to 255)
+[W-2:22]    reserved / first bitstring bits (multicast)
+[W+1:W-1]   traffic type: 000 unicast, 001 multicast, 010
+            broadcast, 011 relay (broadcast-by-unicast segment)
+body/tail:
+[W+1:2]     payload
+=========== =====================================================
+
+Multicast bitstrings that do not fit in the header's reserved field spill
+into **header-extension flits** (type ``header`` with the ``EXT`` traffic
+code), the paper's "multi flit headers" option for larger networks.
+
+These encoders are *not* used by the cycle simulator (which keeps fields
+unpacked for speed); they exist so the packet format is a tested, exact
+artefact, and the property-based suite round-trips packets through them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.noc.packet import BROADCAST, MULTICAST, RELAY, UNICAST, Packet
+
+__all__ = [
+    "FLIT_HEADER", "FLIT_BODY", "FLIT_TAIL", "FLIT_SINGLE", "TT_EXT",
+    "FlitCodec", "DecodedHeader", "DecodedFlit",
+]
+
+FLIT_HEADER = 0b00
+FLIT_BODY = 0b01
+FLIT_TAIL = 0b10
+FLIT_SINGLE = 0b11
+
+#: traffic-type code for header-extension flits (multi-flit headers)
+TT_EXT = 0b111
+
+_ADDR_BITS = 6
+_LEN_BITS = 8
+_TT_BITS = 3
+
+
+@dataclass(frozen=True)
+class DecodedHeader:
+    """Fields recovered from a header flit (+ extensions)."""
+
+    dst: int
+    src: int
+    length: int
+    traffic: int
+    bitstring: int = 0
+
+
+@dataclass(frozen=True)
+class DecodedFlit:
+    """One decoded flit: its type and (for non-headers) the payload."""
+
+    ftype: int
+    payload: int = 0
+    header: Optional[DecodedHeader] = None
+
+
+class FlitCodec:
+    """Encode/decode packets to flit words for a given payload width.
+
+    Parameters
+    ----------
+    width:
+        Payload width W in bits (>= 24 so the header fields fit); the
+        paper's switch versions use 16/32/64 -- width 16 is supported for
+        *data* flits but headers then need W >= 24, so the codec requires
+        24; the hardware cost model still sweeps raw datapath widths.
+    """
+
+    def __init__(self, width: int = 32):
+        if width < 24:
+            raise ValueError(
+                f"header fields need a payload width >= 24 bits (got {width})")
+        self.width = width
+        self.flit_bits = width + 2
+        self._payload_mask = (1 << width) - 1
+        self._tt_shift = self.flit_bits - _TT_BITS
+        # reserved field available for inline multicast bits
+        self._resv_lo = 2 + _ADDR_BITS + _ADDR_BITS + _LEN_BITS   # = 22
+        self._resv_bits = self._tt_shift - self._resv_lo
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+    def encode_header(self, dst: int, src: int, length: int, traffic: int,
+                      bitstring: int = 0) -> List[int]:
+        """Header flit (+ extension flits when the bitstring spills)."""
+        for name, val, bits in (("dst", dst, _ADDR_BITS),
+                                ("src", src, _ADDR_BITS),
+                                ("length", length, _LEN_BITS),
+                                ("traffic", traffic, _TT_BITS)):
+            if not 0 <= val < (1 << bits):
+                raise ValueError(f"{name}={val} exceeds {bits} bits")
+        if bitstring < 0:
+            raise ValueError("bitstring must be non-negative")
+        ftype = FLIT_SINGLE if length == 1 else FLIT_HEADER
+        word = (ftype
+                | (dst << 2)
+                | (src << (2 + _ADDR_BITS))
+                | (length << (2 + 2 * _ADDR_BITS))
+                | ((bitstring & ((1 << self._resv_bits) - 1)) << self._resv_lo)
+                | (traffic << self._tt_shift))
+        flits = [word]
+        rest = bitstring >> self._resv_bits
+        ext_payload_bits = self._tt_shift - 2
+        while rest:
+            ext = (FLIT_HEADER
+                   | ((rest & ((1 << ext_payload_bits) - 1)) << 2)
+                   | (TT_EXT << self._tt_shift))
+            flits.append(ext)
+            rest >>= ext_payload_bits
+        return flits
+
+    def encode_body(self, payload: int) -> int:
+        return FLIT_BODY | ((payload & self._payload_mask) << 2)
+
+    def encode_tail(self, payload: int) -> int:
+        return FLIT_TAIL | ((payload & self._payload_mask) << 2)
+
+    def encode_packet(self, pkt: Packet,
+                      payloads: Optional[List[int]] = None) -> List[int]:
+        """Whole packet to wire flits.
+
+        ``payloads`` supplies body/tail payload words (zero-filled when
+        omitted).  The flit count can exceed ``pkt.size`` when multicast
+        bitstrings force header extensions -- exactly the overhead the
+        paper's multi-flit-header remark concedes.
+        """
+        flits = self.encode_header(pkt.dst, pkt.src, pkt.size,
+                                   pkt.traffic, pkt.bitstring)
+        n_data = pkt.size - 1
+        data = list(payloads) if payloads is not None else [0] * n_data
+        if len(data) != n_data:
+            raise ValueError(
+                f"expected {n_data} payload words, got {len(data)}")
+        for i, word in enumerate(data):
+            if i == n_data - 1:
+                flits.append(self.encode_tail(word))
+            else:
+                flits.append(self.encode_body(word))
+        return flits
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+    def flit_type(self, word: int) -> int:
+        return word & 0b11
+
+    def decode_flit(self, word: int) -> DecodedFlit:
+        if word < 0 or word >> self.flit_bits:
+            raise ValueError(
+                f"flit word does not fit in {self.flit_bits} bits")
+        ftype = word & 0b11
+        if ftype in (FLIT_BODY, FLIT_TAIL):
+            return DecodedFlit(ftype, payload=(word >> 2) & self._payload_mask)
+        return DecodedFlit(ftype, header=self._decode_header_word(word))
+
+    def _decode_header_word(self, word: int) -> DecodedHeader:
+        dst = (word >> 2) & ((1 << _ADDR_BITS) - 1)
+        src = (word >> (2 + _ADDR_BITS)) & ((1 << _ADDR_BITS) - 1)
+        length = (word >> (2 + 2 * _ADDR_BITS)) & ((1 << _LEN_BITS) - 1)
+        traffic = (word >> self._tt_shift) & ((1 << _TT_BITS) - 1)
+        bits = (word >> self._resv_lo) & ((1 << self._resv_bits) - 1)
+        return DecodedHeader(dst, src, length, traffic, bits)
+
+    def decode_packet(self, flits: List[int]) -> Tuple[DecodedHeader,
+                                                       List[int]]:
+        """Wire flits back to (header, payload words).
+
+        Validates framing: exactly one leading header (+ extensions), a
+        tail flit at the end, bodies in between.
+        """
+        if not flits:
+            raise ValueError("empty flit stream")
+        first = self.decode_flit(flits[0])
+        if first.ftype not in (FLIT_HEADER, FLIT_SINGLE):
+            raise ValueError("packet must start with a header flit")
+        hdr = first.header
+        assert hdr is not None
+        idx = 1
+        bitstring = hdr.bitstring
+        shift = self._resv_bits
+        ext_payload_bits = self._tt_shift - 2
+        while idx < len(flits):
+            f = self.decode_flit(flits[idx])
+            if (f.ftype == FLIT_HEADER and f.header is not None
+                    and f.header.traffic == TT_EXT):
+                raw = flits[idx]
+                chunk = (raw >> 2) & ((1 << ext_payload_bits) - 1)
+                bitstring |= chunk << shift
+                shift += ext_payload_bits
+                idx += 1
+            else:
+                break
+        hdr = DecodedHeader(hdr.dst, hdr.src, hdr.length, hdr.traffic,
+                            bitstring)
+        payloads: List[int] = []
+        expected_data = hdr.length - 1
+        for j in range(idx, len(flits)):
+            f = self.decode_flit(flits[j])
+            is_last = j == len(flits) - 1
+            if is_last:
+                if f.ftype != FLIT_TAIL:
+                    raise ValueError("packet must end with a tail flit")
+            elif f.ftype != FLIT_BODY:
+                raise ValueError(f"unexpected flit type {f.ftype} mid-packet")
+            payloads.append(f.payload)
+        if hdr.length == 1:
+            if first.ftype != FLIT_SINGLE or payloads:
+                raise ValueError("1-flit packet must be a single head+tail flit")
+        elif len(payloads) != expected_data:
+            raise ValueError(
+                f"header says {expected_data} data flits, got {len(payloads)}")
+        return hdr, payloads
+
+    @staticmethod
+    def traffic_name(code: int) -> str:
+        return {UNICAST: "unicast", MULTICAST: "multicast",
+                BROADCAST: "broadcast", RELAY: "relay",
+                TT_EXT: "header-ext"}.get(code, f"reserved({code})")

@@ -1,0 +1,188 @@
+"""The Quarc transceiver (network adapter) of Sec. 2.4 / Fig. 5.
+
+The transceiver sits between a processing element and the all-port
+router.  Its five functional blocks map onto this model as follows:
+
+* **write controller** -- splits a message into M flits and stamps the
+  flit type (modelled by enqueuing ``(packet, flit_index)`` tuples; the
+  bit-exact 34-bit encoding lives in :mod:`repro.core.packet_format`);
+* **quadrant calculator** -- :class:`repro.core.quadrant.QuadrantCalculator`;
+* **buffer selector** -- picks which of the four quadrant buffers receives
+  the flits;
+* **buffers** -- the four quadrant queues, i.e. the router's local ingress
+  lanes.  Four independent queues is precisely the all-port property: a
+  message waits only if *its* quadrant is backed up;
+* **FCU** -- the per-queue streaming into the router, handled by the
+  router's output-port arbitration.
+
+Broadcast: one packet per quadrant, header destination = last node of the
+branch, as in Fig. 6.  Multicast: targets are partitioned by quadrant and
+each branch packet carries a bitstring whose bit *h* marks the node at
+hop-distance *h* along the branch (Sec. 2.5.3).
+
+``bcast_mode="relay"`` is an ablation hook (not in the paper): it makes
+the Quarc *topology* perform Spidergon-style broadcast-by-unicast so the
+benefit of absorb-and-forward can be isolated from the benefit of the
+doubled cross link.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, TYPE_CHECKING
+
+from repro.core.collector import LatencyCollector
+from repro.core.quadrant import QuadrantCalculator
+from repro.noc.network import Adapter
+from repro.noc.packet import (BROADCAST, MULTICAST, RELAY, UNICAST,
+                              CollectiveOp, Packet)
+from repro.topologies.quarc import LEFT, RIGHT, XLEFT, XRIGHT
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.quarc_router import QuarcRouter
+
+__all__ = ["QuarcTransceiver"]
+
+
+class QuarcTransceiver(Adapter):
+    """All-port network adapter for one Quarc node."""
+
+    __slots__ = ("router", "calc", "collector", "queues", "bcast_mode")
+
+    def __init__(self, node: int, router: "QuarcRouter",
+                 collector: Optional[LatencyCollector] = None,
+                 bcast_mode: str = "clone"):
+        super().__init__(node)
+        if bcast_mode not in ("clone", "relay"):
+            raise ValueError(f"unknown bcast_mode {bcast_mode!r}")
+        self.router = router
+        self.calc = QuadrantCalculator(node, router.n)
+        self.collector = collector or LatencyCollector()
+        self.bcast_mode = bcast_mode
+        self.queues = {
+            RIGHT: router.loc_r,
+            LEFT: router.loc_l,
+            XRIGHT: router.loc_xr,
+            XLEFT: router.loc_xl,
+        }
+
+    # ------------------------------------------------------------------
+    # injection side
+    # ------------------------------------------------------------------
+    def _enqueue(self, quadrant: str, pkt: Packet) -> None:
+        q = self.queues[quadrant]
+        for i in range(pkt.size):
+            q.push(pkt, i)
+
+    def send(self, pkt: Packet, now: int) -> None:
+        """Accept a unicast from the PE: quadrant-select and enqueue."""
+        if pkt.traffic != UNICAST:
+            raise ValueError("send() is for unicasts; use send_broadcast/"
+                             "send_multicast for collectives")
+        pkt.created = now
+        self.collector.note_generated(collective=False)
+        self._enqueue(self.calc.quadrant(pkt.dst), pkt)
+
+    def send_broadcast(self, size: int, now: int) -> CollectiveOp:
+        """Emit a true broadcast: one tagged packet per quadrant (Fig. 6)."""
+        n = self.router.n
+        op = CollectiveOp(self.node, now, expected=n - 1, kind=BROADCAST)
+        self.collector.note_generated(collective=True)
+        if self.bcast_mode == "relay":
+            self._send_relay_broadcast(size, now, op)
+            return op
+        q = n // 4
+        branch_dsts = {
+            RIGHT: (self.node + q) % n,
+            LEFT: (self.node - q) % n,
+            XLEFT: (self.node + q + 1) % n,
+            XRIGHT: (self.node + 3 * q - 1) % n if q > 1 else None,
+        }
+        for quadrant, dst in branch_dsts.items():
+            if dst is None:
+                continue
+            pkt = Packet(self.node, dst, size, BROADCAST, created=now, op=op)
+            self._enqueue(quadrant, pkt)
+        return op
+
+    def send_multicast(self, targets: Iterable[int], size: int,
+                       now: int) -> CollectiveOp:
+        """BRCP multicast: per-quadrant branch packets with bitstrings.
+
+        Each branch's destination is its farthest target; intermediate
+        targets are flagged by hop-distance bits, non-targets on the path
+        are transited without a local copy.
+        """
+        tgts = sorted(set(targets) - {self.node})
+        if not tgts:
+            raise ValueError("multicast needs at least one remote target")
+        op = CollectiveOp(self.node, now, expected=len(tgts), kind=MULTICAST)
+        self.collector.note_generated(collective=True)
+        branches: Dict[str, List[int]] = {}
+        for t in tgts:
+            branches.setdefault(self.calc.quadrant(t), []).append(t)
+        for quadrant, nodes in branches.items():
+            far = max(nodes, key=self.calc.hop_distance)
+            bits = 0
+            for t in nodes:
+                bits |= 1 << self.calc.hop_distance(t)
+            pkt = Packet(self.node, far, size, MULTICAST, created=now,
+                         op=op, bitstring=bits)
+            self._enqueue(quadrant, pkt)
+        return op
+
+    # -- ablation: broadcast-by-unicast over the Quarc links -------------
+    def _send_relay_broadcast(self, size: int, now: int,
+                              op: CollectiveOp) -> None:
+        n = self.router.n
+        cw_count = n // 2            # ceil((N-1)/2) for even N
+        ccw_count = (n - 1) - cw_count
+        for step, count in ((1, cw_count), (-1, ccw_count)):
+            if count == 0:
+                continue
+            first = (self.node + step) % n
+            pkt = Packet(self.node, first, size, RELAY, created=now, op=op)
+            pkt.meta["dir"] = step
+            pkt.meta["remaining"] = count - 1
+            self._enqueue(self.calc.quadrant(first), pkt)
+
+    # ------------------------------------------------------------------
+    # delivery side
+    # ------------------------------------------------------------------
+    def receive_tail(self, pkt: Packet, now: int) -> None:
+        t = pkt.traffic
+        if t == UNICAST:
+            self.collector.on_unicast(pkt, now)
+            return
+        if t == RELAY:
+            self._relay_forward(pkt, now)
+            return
+        op = pkt.op
+        if op is None:      # collective without tracker: nothing to record
+            return
+        was_new = self.node not in op.deliveries
+        done = op.deliver(self.node, now)
+        if was_new:
+            self.collector.on_collective_delivery(op, now)
+        if done:
+            self.collector.on_collective_complete(op, now)
+
+    def _relay_forward(self, pkt: Packet, now: int) -> None:
+        """Ablation-mode relay hop: absorb, regenerate, re-inject."""
+        op = pkt.op
+        if op is not None:
+            was_new = self.node not in op.deliveries
+            done = op.deliver(self.node, now)
+            if was_new:
+                self.collector.on_collective_delivery(op, now)
+            if done:
+                self.collector.on_collective_complete(op, now)
+        remaining = pkt.meta.get("remaining", 0)
+        if remaining <= 0:
+            return
+        step = pkt.meta["dir"]
+        nxt = (self.node + step) % self.router.n
+        new = Packet(self.node, nxt, pkt.size, RELAY, created=now, op=op)
+        new.meta["dir"] = step
+        new.meta["remaining"] = remaining - 1
+        self.collector.on_relay_segment()
+        self._enqueue(self.calc.quadrant(nxt), new)

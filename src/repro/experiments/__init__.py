@@ -1,0 +1,29 @@
+"""Experiment drivers shared by the benchmarks, examples and tests.
+
+* :mod:`repro.experiments.latency` -- run one (network, workload) point to
+  a :class:`~repro.sim.records.RunSummary`.
+* :mod:`repro.experiments.sweep` -- rate sweeps and figure-shaped
+  parameter grids (Figs. 9/10/11).
+* :mod:`repro.experiments.ascii_plot` -- terminal latency-vs-load plots
+  (no matplotlib in the offline environment).
+* :mod:`repro.experiments.csvout` -- CSV emission for every figure/table.
+"""
+
+from repro.experiments.latency import run_point
+from repro.experiments.sweep import (
+    default_rates,
+    sweep_rates,
+    compare_networks,
+)
+from repro.experiments.ascii_plot import ascii_curves
+from repro.experiments.csvout import rows_to_csv, write_csv
+
+__all__ = [
+    "run_point",
+    "default_rates",
+    "sweep_rates",
+    "compare_networks",
+    "ascii_curves",
+    "rows_to_csv",
+    "write_csv",
+]

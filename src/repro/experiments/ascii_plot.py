@@ -1,0 +1,80 @@
+"""Terminal plots for latency-vs-load curves (no matplotlib offline).
+
+Renders the paper's figure style -- latency (log scale) on the vertical
+axis, per-node message rate on the horizontal -- as a character grid, one
+marker per curve.  Saturated points (infinite/transient latency) are
+clipped to the top row, matching the vertical knee of the printed curves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ascii_curves"]
+
+_MARKERS = "QSqs*#@+"
+
+
+def ascii_curves(curves: Dict[str, List[Tuple[float, float]]],
+                 width: int = 64, height: int = 18,
+                 title: str = "", log_y: bool = True) -> str:
+    """Render ``{label: [(rate, latency), ...]}`` as an ASCII chart.
+
+    Non-finite or non-positive latencies are clipped to the chart top
+    (saturation).  Returns a printable multi-line string.
+    """
+    pts = [(x, y) for series in curves.values() for x, y in series
+           if math.isfinite(y) and y > 0]
+    if not pts:
+        return f"{title}\n(no finite data points)"
+    xs = [x for series in curves.values() for x, _ in series]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo = min(y for _, y in pts)
+    y_hi = max(y for _, y in pts)
+    if log_y:
+        y_lo, y_hi = math.log10(y_lo), math.log10(max(y_hi, y_lo * 1.01))
+    if x_hi == x_lo:
+        x_hi = x_lo + 1e-9
+    if y_hi == y_lo:
+        y_hi = y_lo + 1e-9
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, mark: str) -> None:
+        col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        if not math.isfinite(y) or y <= 0:
+            row = 0                      # clipped: saturated point
+            mark = "^"
+        else:
+            yv = math.log10(y) if log_y else y
+            yv = min(max(yv, y_lo), y_hi)
+            row = int((y_hi - yv) / (y_hi - y_lo) * (height - 1))
+        grid[row][min(max(col, 0), width - 1)] = mark
+
+    legend = []
+    for idx, (label, series) in enumerate(curves.items()):
+        mark = _MARKERS[idx % len(_MARKERS)]
+        legend.append(f"  {mark} = {label}")
+        for x, y in series:
+            place(x, y, mark)
+
+    y_top = 10 ** y_hi if log_y else y_hi
+    y_bot = 10 ** y_lo if log_y else y_lo
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"latency (cycles){'  [log scale]' if log_y else ''}  "
+                 f"('^' = saturated)")
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = f"{y_top:9.1f} |"
+        elif r == height - 1:
+            label = f"{y_bot:9.1f} |"
+        else:
+            label = "          |"
+        lines.append(label + "".join(row))
+    lines.append("          +" + "-" * width)
+    lines.append(f"           rate: {x_lo:g} .. {x_hi:g} msg/node/cycle")
+    lines.extend(legend)
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""CSV emission for experiment results.
+
+Every benchmark writes its table to ``results/`` so EXPERIMENTS.md can
+reference stable artefacts; the helpers here keep that path handling and
+formatting in one place.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["rows_to_csv", "write_csv", "format_table"]
+
+
+def rows_to_csv(rows: Sequence[Dict[str, object]]) -> str:
+    """Render dict-rows to CSV text (union of keys, first-seen order)."""
+    if not rows:
+        return ""
+    fields: List[str] = []
+    for row in rows:
+        for k in row:
+            if k not in fields:
+                fields.append(k)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fields, restval="")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def write_csv(rows: Sequence[Dict[str, object]], path: str) -> str:
+    """Write dict-rows to ``path`` (directories created); returns path."""
+    text = rows_to_csv(rows)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return path
+
+
+def format_table(rows: Sequence[Dict[str, object]],
+                 columns: Iterable[str] = ()) -> str:
+    """Fixed-width text table (for benchmark console reports)."""
+    if not rows:
+        return "(empty table)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    widths = {c: len(c) for c in cols}
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for c in cols:
+            v = row.get(c, "")
+            s = f"{v:.4g}" if isinstance(v, float) else str(v)
+            widths[c] = max(widths[c], len(s))
+            cells.append(s)
+        rendered.append(cells)
+    header = "  ".join(c.rjust(widths[c]) for c in cols)
+    sep = "  ".join("-" * widths[c] for c in cols)
+    body = "\n".join("  ".join(s.rjust(widths[c])
+                               for s, c in zip(cells, cols))
+                     for cells in rendered)
+    return f"{header}\n{sep}\n{body}"

@@ -1,0 +1,158 @@
+"""Drivers for every figure and table in the paper's evaluation.
+
+Each ``run_*`` function regenerates one artefact as a list of dict rows
+(CSV-ready) and returns enough structure for the benchmarks to assert the
+paper's qualitative claims.  ``fast=True`` (the default) runs a reduced
+grid sized for CI; set the environment variable ``REPRO_BENCH_FULL=1`` or
+pass ``fast=False`` for the full grids.
+
+Paper artefacts:
+
+* Fig. 9  -- latency vs rate, N=16, beta=5%, M in {8, 16, 32}
+* Fig. 10 -- latency vs rate, M=16, beta=10%, N in {16, 32, 64},
+  simulation overlaid with the analytical model
+* Fig. 11 -- latency vs rate, N=64, M=16, beta in {0%, 5%, 10%}
+* Table 1 -- module-wise slices of the 32-bit Quarc switch
+* Fig. 12 -- switch slices vs flit width, Quarc vs Spidergon
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis import (predict_broadcast_latency,
+                            predict_unicast_latency, saturation_rate)
+from repro.experiments.sweep import compare_networks
+from repro.hw.report import cost_sweep, table1
+from repro.sim.records import RunSummary
+
+__all__ = ["is_full_mode", "latency_rows", "run_fig9", "run_fig10",
+           "run_fig11", "run_table1", "run_fig12", "curves_from_rows"]
+
+
+def is_full_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+
+def _grid(fast: Optional[bool]) -> Tuple[int, int, int]:
+    """(rate points, cycles, warmup) for the current mode."""
+    full = is_full_mode() if fast is None else not fast
+    return (8, 20_000, 5_000) if full else (5, 8_000, 2_000)
+
+
+def _rates_for(n: int, msg_len: int, beta: float, points: int
+               ) -> List[float]:
+    """Rates from light load to just past the *simulated* knee.
+
+    The cycle simulator saturates below the M/G/1 bound because wormhole
+    blocking with finite lane buffers wastes link capacity; empirically
+    the knee sits around 55-70% of the analytic rate, so the grid tops
+    out at 0.65x -- the last point lands past the knee (the figures'
+    vertical tail) while the earlier points resolve the rising region.
+    """
+    sat = min(saturation_rate("spidergon", n, msg_len, beta),
+              saturation_rate("quarc", n, msg_len, beta))
+    top = 0.65 * sat
+    return [round(top * (i + 1) / points, 6) for i in range(points)]
+
+
+def latency_rows(results: Dict[str, List[RunSummary]],
+                 config_label: str) -> List[Dict[str, object]]:
+    """Flatten a compare_networks() result into CSV rows."""
+    rows: List[Dict[str, object]] = []
+    for kind, summaries in results.items():
+        for s in summaries:
+            row = s.row()
+            row["config"] = config_label
+            rows.append(row)
+    return rows
+
+
+def curves_from_rows(rows: Sequence[Dict[str, object]],
+                     metric: str = "unicast_lat"
+                     ) -> Dict[str, List[Tuple[float, float]]]:
+    """Group rows into {"<noc> <config>": [(rate, latency), ...]}."""
+    curves: Dict[str, List[Tuple[float, float]]] = {}
+    for row in rows:
+        label = f"{row['noc']} {row.get('config', '')}".strip()
+        curves.setdefault(label, []).append(
+            (float(row["rate"]), float(row[metric])))  # type: ignore[arg-type]
+    return curves
+
+
+# ----------------------------------------------------------------------
+# Fig. 9: message-length sweep at N=16, beta=5%
+# ----------------------------------------------------------------------
+def run_fig9(fast: Optional[bool] = None, seed: int = 1,
+             msg_lens: Sequence[int] = (8, 16, 32)
+             ) -> List[Dict[str, object]]:
+    points, cycles, warmup = _grid(fast)
+    n, beta = 16, 0.05
+    rows: List[Dict[str, object]] = []
+    for m in msg_lens:
+        res = compare_networks(n, m, beta,
+                               rates=_rates_for(n, m, beta, points),
+                               cycles=cycles, warmup=warmup, seed=seed)
+        rows.extend(latency_rows(res, config_label=f"M={m}"))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 10: network-size sweep at M=16, beta=10%, with analysis overlay
+# ----------------------------------------------------------------------
+def run_fig10(fast: Optional[bool] = None, seed: int = 1,
+              sizes: Sequence[int] = (16, 32, 64)
+              ) -> List[Dict[str, object]]:
+    points, cycles, warmup = _grid(fast)
+    m, beta = 16, 0.10
+    rows: List[Dict[str, object]] = []
+    for n in sizes:
+        rates = _rates_for(n, m, beta, points)
+        res = compare_networks(n, m, beta, rates=rates,
+                               cycles=cycles, warmup=warmup, seed=seed)
+        rows.extend(latency_rows(res, config_label=f"N={n}"))
+        # the paper overlays analytical curves in this figure
+        for kind in ("quarc", "spidergon"):
+            for r in rates:
+                rows.append({
+                    "noc": f"{kind}-model", "N": n, "M": m, "beta": beta,
+                    "rate": r,
+                    "unicast_lat": round(
+                        predict_unicast_latency(kind, n, m, beta, r), 2),
+                    "bcast_lat": round(
+                        predict_broadcast_latency(kind, n, m, beta, r), 2),
+                    "accepted": "", "unicast_n": "", "bcast_n": "",
+                    "saturated": "", "config": f"N={n}",
+                })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 11: broadcast-rate sweep at N=64, M=16
+# ----------------------------------------------------------------------
+def run_fig11(fast: Optional[bool] = None, seed: int = 1,
+              betas: Sequence[float] = (0.0, 0.05, 0.10),
+              n: int = 64) -> List[Dict[str, object]]:
+    points, cycles, warmup = _grid(fast)
+    m = 16
+    rows: List[Dict[str, object]] = []
+    for beta in betas:
+        res = compare_networks(n, m, beta,
+                               rates=_rates_for(n, m, beta, points),
+                               cycles=cycles, warmup=warmup, seed=seed)
+        rows.extend(latency_rows(res, config_label=f"beta={beta:g}"))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 1 and Fig. 12: area model
+# ----------------------------------------------------------------------
+def run_table1() -> List[Dict[str, object]]:
+    t = table1(32)
+    return [{"module": k, "slices": v} for k, v in t.items()]
+
+
+def run_fig12(widths: Sequence[int] = (16, 32, 64)
+              ) -> List[Dict[str, object]]:
+    return cost_sweep(list(widths))

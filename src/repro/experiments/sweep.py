@@ -1,0 +1,76 @@
+"""Rate sweeps and Quarc-vs-Spidergon comparison grids.
+
+The figures plot latency against per-node message rate.  The interesting
+range depends on where the network saturates, which the analytical models
+predict; :func:`default_rates` spaces points from near-zero load up to
+just past the *Spidergon's* saturation point so every figure shows both
+the flat region and both knees, like the paper's curves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis import saturation_rate
+from repro.experiments.latency import run_point
+from repro.sim.records import RunSummary
+from repro.traffic.workload import WorkloadSpec
+
+__all__ = ["default_rates", "sweep_rates", "compare_networks"]
+
+
+def default_rates(n: int, msg_len: int, beta: float,
+                  points: int = 6) -> List[float]:
+    """Injection rates from light load to just past the simulated knee
+    (~0.65x the analytic bound; see figures._rates_for)."""
+    sat = min(saturation_rate("spidergon", n, msg_len, beta),
+              saturation_rate("quarc", n, msg_len, beta))
+    top = sat * 0.65
+    if points < 2:
+        return [top]
+    return [round(top * (i + 1) / points, 6) for i in range(points)]
+
+
+def sweep_rates(spec: WorkloadSpec, rates: Sequence[float],
+                verbose: bool = False, **kwargs) -> List[RunSummary]:
+    """Run ``spec`` at each rate; stops early after two saturated points
+    (the curve is vertical there, more points add nothing but runtime)."""
+    out: List[RunSummary] = []
+    saturated_seen = 0
+    for s in spec.sweep_rates(rates):
+        summary = run_point(s, **kwargs)
+        out.append(summary)
+        if verbose:  # pragma: no cover - console convenience
+            print(f"  {s.label():45s} uni={summary.unicast_mean:8.1f} "
+                  f"bcast={summary.bcast_mean:9.1f} "
+                  f"{'SAT' if summary.saturated else ''}")
+        if summary.saturated:
+            saturated_seen += 1
+            if saturated_seen >= 2:
+                break
+    return out
+
+
+def compare_networks(n: int, msg_len: int, beta: float,
+                     rates: Optional[Sequence[float]] = None,
+                     cycles: int = 12_000, warmup: int = 3_000,
+                     seed: int = 1, kinds: Sequence[str] = ("quarc",
+                                                            "spidergon"),
+                     verbose: bool = False) -> Dict[str, List[RunSummary]]:
+    """The paper's core comparison at one (N, M, beta) configuration.
+
+    Both networks see the same seeds (common random numbers), so latency
+    differences are attributable to the architecture, not the workload
+    draw.
+    """
+    if rates is None:
+        rates = default_rates(n, msg_len, beta)
+    results: Dict[str, List[RunSummary]] = {}
+    for kind in kinds:
+        spec = WorkloadSpec(kind=kind, n=n, msg_len=msg_len, beta=beta,
+                            rate=0.0, cycles=cycles, warmup=warmup,
+                            seed=seed)
+        if verbose:  # pragma: no cover
+            print(f"[{kind}] N={n} M={msg_len} beta={beta:g}")
+        results[kind] = sweep_rates(spec, rates, verbose=verbose)
+    return results

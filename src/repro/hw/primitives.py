@@ -1,0 +1,112 @@
+"""Primitive hardware blocks and their LUT/FF/slice footprints.
+
+Counting conventions (Virtex-II Pro):
+
+* one slice packs 2 four-input LUTs and 2 flip-flops; a block's slice
+  count is ``ceil(max(luts, ffs) / 2)`` -- the scarcer resource dominates
+  because the packer cannot always co-locate unrelated LUTs and FFs;
+* register banks cost 1 FF/bit and no LUTs;
+* an n-to-1 multiplexer of w-bit buses costs ``w * ceil((n-1)/1.5)``
+  LUT4s (each LUT4 implements 1.5 2:1 mux legs via the F5/F6 chain,
+  conservatively rounded);
+* a Moore FSM with s states and t transition terms costs
+  ``ceil(log2 s)`` FFs and ``~t`` LUTs;
+* a w-bit comparator/adder costs w LUTs (carry chain).
+
+These are deliberately simple, standard counts; the switch models apply
+calibration factors on top (see :mod:`repro.hw.report`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["SliceEstimate", "register_cost", "fifo_cost", "mux_cost",
+           "fsm_cost", "comparator_cost", "decoder_cost", "table_cost"]
+
+
+@dataclass(frozen=True)
+class SliceEstimate:
+    """LUT/FF counts plus the packed slice estimate."""
+
+    luts: int
+    ffs: int
+
+    @property
+    def slices(self) -> int:
+        return math.ceil(max(self.luts, self.ffs) / 2)
+
+    def __add__(self, other: "SliceEstimate") -> "SliceEstimate":
+        return SliceEstimate(self.luts + other.luts, self.ffs + other.ffs)
+
+    def scaled(self, k: int) -> "SliceEstimate":
+        if k < 0:
+            raise ValueError("replication count must be non-negative")
+        return SliceEstimate(self.luts * k, self.ffs * k)
+
+
+def register_cost(bits: int) -> SliceEstimate:
+    """A plain register bank."""
+    if bits < 0:
+        raise ValueError("bits must be non-negative")
+    return SliceEstimate(luts=0, ffs=bits)
+
+
+def fifo_cost(width: int, depth: int) -> SliceEstimate:
+    """Register-based FIFO: storage + read/write pointers + status.
+
+    The paper's buffers are "parametrized in width and depth"
+    (Sec. 2.3.1); register (not BRAM) implementation matches the small
+    depths of NoC lanes.
+    """
+    if width < 1 or depth < 1:
+        raise ValueError("width and depth must be >= 1")
+    ptr_bits = max(1, math.ceil(math.log2(depth)))
+    storage = SliceEstimate(luts=0, ffs=width * depth)
+    # write-enable fanout + output mux over depth entries
+    out_mux = mux_cost(width, depth)
+    pointers = SliceEstimate(luts=2 * ptr_bits + 4, ffs=2 * ptr_bits + 2)
+    return storage + out_mux + pointers
+
+
+def mux_cost(width: int, inputs: int) -> SliceEstimate:
+    """n-to-1 bus multiplexer."""
+    if width < 1 or inputs < 1:
+        raise ValueError("width and inputs must be >= 1")
+    if inputs == 1:
+        return SliceEstimate(luts=0, ffs=0)
+    legs = inputs - 1
+    return SliceEstimate(luts=width * math.ceil(legs / 1.5), ffs=0)
+
+
+def fsm_cost(states: int, transition_terms: int = 0) -> SliceEstimate:
+    """Moore FSM: state register + next-state/output logic."""
+    if states < 2:
+        raise ValueError("an FSM needs at least 2 states")
+    state_bits = max(1, math.ceil(math.log2(states)))
+    terms = transition_terms if transition_terms else 2 * states
+    return SliceEstimate(luts=terms, ffs=state_bits)
+
+
+def comparator_cost(bits: int) -> SliceEstimate:
+    """Equality/magnitude comparator or small adder (carry chain)."""
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    return SliceEstimate(luts=bits, ffs=0)
+
+
+def decoder_cost(select_bits: int, outputs: int) -> SliceEstimate:
+    """Select decoder (write-enable generation, channel select)."""
+    if select_bits < 1 or outputs < 1:
+        raise ValueError("select_bits and outputs must be >= 1")
+    return SliceEstimate(luts=outputs, ffs=0)
+
+
+def table_cost(entries: int, entry_bits: int) -> SliceEstimate:
+    """Small allocation table (FCU switching / OPC VC-allocation state)."""
+    if entries < 1 or entry_bits < 1:
+        raise ValueError("entries and entry_bits must be >= 1")
+    storage = SliceEstimate(luts=0, ffs=entries * entry_bits)
+    select = decoder_cost(max(1, math.ceil(math.log2(entries))), entries)
+    return storage + select

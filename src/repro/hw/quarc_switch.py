@@ -1,0 +1,96 @@
+"""Structural netlist of the Quarc switch (Fig. 4), module by module.
+
+The module inventory matches Table 1: Input Buffers, Write Controller,
+Crossbar & Mux, VC Arbiter, Flow Control Unit and Output Port Controller.
+Datapath blocks scale with the flit width (data width + 2 type bits);
+control blocks are width-independent -- exactly the behaviour the paper's
+16/32/64-bit synthesis sweep (Fig. 12) exhibits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.hw.primitives import (SliceEstimate, comparator_cost,
+                                 decoder_cost, fifo_cost, fsm_cost,
+                                 mux_cost, register_cost, table_cost)
+
+__all__ = ["quarc_switch_structural", "quarc_switch_area",
+           "QUARC_MODULES"]
+
+QUARC_MODULES = ("input_buffers", "write_controller", "crossbar_mux",
+                 "vc_arbiter", "fcu", "opc")
+
+#: network ingress ports (CW, CCW, cross-right, cross-left)
+_N_NET_PORTS = 4
+#: VC lanes per ingress (Sec. 2.3.1: "two lanes of input buffers")
+_N_LANES = 2
+
+
+def quarc_switch_structural(data_width: int,
+                            buffer_depth: int = 4) -> Dict[str,
+                                                           SliceEstimate]:
+    """Uncalibrated structural estimate per Table-1 module."""
+    if data_width < 8:
+        raise ValueError(f"data width must be >= 8 bits (got {data_width})")
+    if buffer_depth < 1:
+        raise ValueError("buffer depth must be >= 1")
+    flit = data_width + 2          # +2 flit-type bits (Fig. 7)
+
+    # Input Buffers: per IPC, two VC lanes + write demux + status logic
+    ipc = (fifo_cost(flit, buffer_depth).scaled(_N_LANES)
+           + decoder_cost(1, _N_LANES)          # ch_to_store demux
+           + SliceEstimate(luts=4, ffs=2))      # full/empty status
+    input_buffers = ipc.scaled(_N_NET_PORTS)
+
+    # Write Controller: idle/write FSM per IPC (sof/eof handshake)
+    write_controller = fsm_cost(states=2, transition_terms=3).scaled(
+        _N_NET_PORTS)
+
+    # Crossbar & Mux: each rim output multiplexes 3 ingress sources
+    # (through + cross-turn + local); cross outputs are 1:1; eject taps
+    # are per-ingress 2:1 (forward vs absorb)
+    crossbar = (mux_cost(flit, 3).scaled(2)        # cw_out, ccw_out
+                + mux_cost(flit, 1).scaled(2)      # xr_out, xl_out
+                + mux_cost(flit, 2).scaled(_N_NET_PORTS))  # eject taps
+
+    # VC Arbiter: per ingress, idle/grant0/grant1 FSM + fairness timer
+    vc_arbiter = (fsm_cost(states=3, transition_terms=5)
+                  + register_cost(4)               # times_up counter
+                  + comparator_cost(4)).scaled(_N_NET_PORTS)
+
+    # FCU: destination-address match + switching table per ingress.
+    # The "routing" is one equality comparison (local vs forward).
+    fcu = (comparator_cost(6)                      # dst == local addr
+           + table_cost(entries=_N_LANES, entry_bits=3)
+           + fsm_cost(states=3, transition_terms=4)).scaled(_N_NET_PORTS)
+
+    # OPC: master FSM (idle + 3 grants) + 3 slave FSMs + VC allocation
+    # table + datapath handshake, per output port (Sec. 2.3.3)
+    opc_one = (fsm_cost(states=4, transition_terms=8)
+               + fsm_cost(states=3, transition_terms=4).scaled(3)
+               + table_cost(entries=_N_LANES, entry_bits=4)
+               + SliceEstimate(luts=6, ffs=4))     # LocalLink handshake
+    opc = opc_one.scaled(_N_NET_PORTS)
+
+    return {
+        "input_buffers": input_buffers,
+        "write_controller": write_controller,
+        "crossbar_mux": crossbar,
+        "vc_arbiter": vc_arbiter,
+        "fcu": fcu,
+        "opc": opc,
+    }
+
+
+def quarc_switch_area(data_width: int, buffer_depth: int = 4,
+                      calibration: Dict[str, float] | None = None
+                      ) -> Dict[str, int]:
+    """Per-module slice counts, optionally calibrated (see report.py)."""
+    structural = quarc_switch_structural(data_width, buffer_depth)
+    out: Dict[str, int] = {}
+    for name, est in structural.items():
+        k = calibration.get(name, 1.0) if calibration else 1.0
+        out[name] = round(est.slices * k)
+    out["total"] = sum(v for k_, v in out.items() if k_ != "total")
+    return out

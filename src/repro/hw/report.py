@@ -1,0 +1,103 @@
+"""Calibration against the paper's synthesis numbers + cost reports.
+
+Calibration procedure (run once, at import):
+
+1. Compute the structural estimate of the 32-bit Quarc switch.
+2. For each Table-1 module, the calibration factor is
+   ``paper_slices / structural_slices``.  These factors absorb synthesis
+   effects (LUT packing, control replication, tool optimisation) that a
+   closed-form count cannot see.
+3. The Spidergon model reuses the *same* factors for the modules both
+   switches share (buffers, write controller, VC arbiter, FCU, OPC,
+   crossbar) and the crossbar factor for its Spidergon-only logic
+   (routing, header rewrite) -- so the Spidergon total is a **prediction**,
+   not a fit.  ``spidergon_prediction_error()`` reports how far that
+   prediction lands from the paper's 1,700 slices; the test-suite asserts
+   it is within 15%.
+
+Everything downstream -- Fig. 12's width sweep, the Quarc<Spidergon
+ordering at every width -- uses these fixed factors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.hw.quarc_switch import quarc_switch_area, quarc_switch_structural
+from repro.hw.spidergon_switch import spidergon_switch_area
+
+__all__ = ["PAPER_QUARC_TABLE1", "PAPER_SPIDERGON_TOTAL_32",
+           "quarc_calibration", "spidergon_calibration", "table1",
+           "cost_sweep", "spidergon_prediction_error"]
+
+#: Table 1 of the paper: module-wise slices of the 32-bit Quarc switch.
+PAPER_QUARC_TABLE1: Dict[str, int] = {
+    "input_buffers": 735,
+    "write_controller": 7,
+    "crossbar_mux": 186,
+    "vc_arbiter": 30,
+    "fcu": 64,
+    "opc": 431,
+}
+#: Sec. 3.1: total slices of the 32-bit versions.
+PAPER_QUARC_TOTAL_32 = 1453
+PAPER_SPIDERGON_TOTAL_32 = 1700
+
+_ANCHOR_WIDTH = 32
+_ANCHOR_DEPTH = 4
+
+
+def quarc_calibration() -> Dict[str, float]:
+    """Per-module factors anchoring the model to Table 1 at 32 bits."""
+    structural = quarc_switch_structural(_ANCHOR_WIDTH, _ANCHOR_DEPTH)
+    return {name: PAPER_QUARC_TABLE1[name] / est.slices
+            for name, est in structural.items()}
+
+
+def spidergon_calibration() -> Dict[str, float]:
+    """Shared-module factors from the Quarc anchor (see module doc)."""
+    base = quarc_calibration()
+    return {
+        "input_buffers": base["input_buffers"],
+        "write_controller": base["write_controller"],
+        "crossbar_mux": base["crossbar_mux"],
+        "vc_arbiter": base["vc_arbiter"],
+        "fcu": base["fcu"],
+        "opc": base["opc"],
+        # Spidergon-only decision/datapath logic: synthesises like the
+        # other mux/compare logic, so it inherits the crossbar factor
+        "routing_logic": base["crossbar_mux"],
+        "header_rewrite": base["crossbar_mux"],
+    }
+
+
+def table1(data_width: int = 32, buffer_depth: int = 4) -> Dict[str, int]:
+    """The paper's Table 1 (exact at the 32-bit anchor by construction)."""
+    return quarc_switch_area(data_width, buffer_depth,
+                             calibration=quarc_calibration())
+
+
+def cost_sweep(widths: List[int] = [16, 32, 64],
+               buffer_depth: int = 4) -> List[Dict[str, object]]:
+    """Fig. 12: total slices of both switches across flit widths."""
+    rows: List[Dict[str, object]] = []
+    qcal = quarc_calibration()
+    scal = spidergon_calibration()
+    for w in widths:
+        q = quarc_switch_area(w, buffer_depth, calibration=qcal)
+        s = spidergon_switch_area(w, buffer_depth, calibration=scal)
+        rows.append({
+            "width_bits": w,
+            "quarc_slices": q["total"],
+            "spidergon_slices": s["total"],
+            "quarc_saving_pct": round(
+                100.0 * (s["total"] - q["total"]) / s["total"], 1),
+        })
+    return rows
+
+
+def spidergon_prediction_error() -> float:
+    """Relative error of the predicted 32-bit Spidergon total vs 1,700."""
+    s = spidergon_switch_area(_ANCHOR_WIDTH, _ANCHOR_DEPTH,
+                              calibration=spidergon_calibration())
+    return (s["total"] - PAPER_SPIDERGON_TOTAL_32) / PAPER_SPIDERGON_TOTAL_32

@@ -1,0 +1,25 @@
+"""Link-layer model: Xilinx LocalLink handshake (Sec. 2.7 / Fig. 8).
+
+The cycle simulator abstracts flow control into credit checks; this
+package models the *signal-level* protocol the paper's hardware actually
+uses -- ``SRC_RDY_N``/``DST_RDY_N``/``SOF_N``/``EOF_N`` with the 2-channel
+``CH_STATUS_N``/``CH_TO_STORE`` virtual-channel extension -- so the
+handshake itself is a tested artefact.  The FSMs run on the
+:class:`repro.sim.engine.Simulator` event kernel.
+"""
+
+from repro.link.locallink import (
+    LocalLinkDestination,
+    LocalLinkSource,
+    LocalLinkWire,
+    Frame,
+    run_link,
+)
+
+__all__ = [
+    "LocalLinkSource",
+    "LocalLinkDestination",
+    "LocalLinkWire",
+    "Frame",
+    "run_link",
+]

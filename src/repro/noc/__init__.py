@@ -1,0 +1,47 @@
+"""Generic flit-level NoC machinery.
+
+This package is the wormhole-switching substrate shared by every topology:
+
+* :mod:`repro.noc.packet` -- packets, flits-as-indices, traffic classes
+  and collective-operation trackers.
+* :mod:`repro.noc.buffers` -- virtual-channel FIFO buffers (the IPC "lanes"
+  of the paper's Fig. 4) with wormhole ownership state.
+* :mod:`repro.noc.ports` -- output ports with per-VC allocation state,
+  round-robin arbitration (the paper's VC arbiter + OPC scheduler folded
+  into one per-cycle arbitration) and downstream credit checks.
+* :mod:`repro.noc.router` -- the router base class: IPC buffering, routing,
+  switching and VC allocation as a two-phase (arbitrate, commit) cycle
+  update.
+* :mod:`repro.noc.network` -- network assembly and the per-cycle step loop.
+
+Model granularity matches the paper's OMNeT++ simulator: one flit per link
+per cycle, two virtual channels per physical link, wormhole switching with
+per-packet output-VC allocation, and back-pressure equivalent to the
+LocalLink ``CH_STATUS_N`` buffer-status signalling.
+"""
+
+from repro.noc.packet import (
+    BROADCAST,
+    MULTICAST,
+    RELAY,
+    UNICAST,
+    CollectiveOp,
+    Packet,
+)
+from repro.noc.buffers import FlitBuffer
+from repro.noc.ports import OutPort
+from repro.noc.router import Router
+from repro.noc.network import Network
+
+__all__ = [
+    "Packet",
+    "CollectiveOp",
+    "UNICAST",
+    "BROADCAST",
+    "MULTICAST",
+    "RELAY",
+    "FlitBuffer",
+    "OutPort",
+    "Router",
+    "Network",
+]

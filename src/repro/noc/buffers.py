@@ -1,0 +1,117 @@
+"""Virtual-channel FIFO buffers -- the IPC "lanes" of the paper's Fig. 4.
+
+Each physical input port of a switch owns one :class:`FlitBuffer` per
+virtual channel.  The buffer also carries the wormhole bookkeeping the
+paper assigns to the FCU's switching table: once a header flit has been
+granted an output port and output VC, the buffer remembers them so body
+and tail flits follow the header without re-arbitration ("if the FCU
+receives a body flit then it reads the switching information from the
+stored table", Sec. 2.3.2).  The table entry is cleared when the tail flit
+departs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.packet import Packet
+    from repro.noc.ports import OutPort
+    from repro.noc.router import Router
+
+__all__ = ["FlitBuffer", "UNBOUNDED"]
+
+#: Capacity sentinel for source queues (PE memory, not switch buffers).
+UNBOUNDED = 1 << 30
+
+
+class FlitBuffer:
+    """One VC lane of flit storage, with wormhole switching state.
+
+    Attributes
+    ----------
+    q:
+        The flit FIFO; entries are ``(packet, flit_index)`` tuples.
+    capacity:
+        Maximum occupancy.  Upstream senders check this before pushing,
+        which models LocalLink ``CH_STATUS_N`` back-pressure with a
+        one-cycle credit loop.
+    cur_out / cur_vc / cur_deliver:
+        Switching-table entry for the packet currently streaming out of
+        this buffer: granted output port, granted output VC, and whether
+        each forwarded flit is also cloned to the local sink (the Quarc
+        broadcast absorb-and-forward flag on the ingress multiplexer).
+    router:
+        Owning router; pushes/pops maintain ``router.flits`` so the network
+        step can skip completely idle routers.
+    """
+
+    __slots__ = ("q", "capacity", "label", "router", "role",
+                 "cur_out", "cur_vc", "cur_deliver")
+
+    def __init__(self, capacity: int, label: str = "",
+                 router: Optional["Router"] = None, role: int = -1):
+        if capacity < 1:
+            raise ValueError(f"buffer capacity must be >= 1 (got {capacity})")
+        self.q: deque = deque()
+        self.capacity = capacity
+        self.label = label
+        self.router = router
+        #: small-int port-role tag set by the owning router; lets
+        #: ``route_head`` dispatch on the ingress direction without dict
+        #: lookups (it runs once per blocked header flit per cycle).
+        self.role = role
+        self.cur_out: Optional["OutPort"] = None
+        self.cur_vc = 0
+        self.cur_deliver = False
+
+    # -- occupancy ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.q)
+
+    @property
+    def free(self) -> int:
+        return self.capacity - len(self.q)
+
+    @property
+    def empty(self) -> bool:
+        return not self.q
+
+    @property
+    def full(self) -> bool:
+        return len(self.q) >= self.capacity
+
+    # -- flit movement --------------------------------------------------
+    def push(self, packet: "Packet", flit_index: int) -> None:
+        """Append a flit.  Raises on overflow -- the sender must have
+        checked ``full`` first (credit discipline); a raise here means a
+        flow-control bug, not a recoverable condition."""
+        if len(self.q) >= self.capacity:
+            raise OverflowError(
+                f"flit pushed into full buffer {self.label!r} "
+                f"(capacity {self.capacity})")
+        self.q.append((packet, flit_index))
+        r = self.router
+        if r is not None:
+            r.flits += 1
+
+    def head(self) -> Optional[Tuple["Packet", int]]:
+        return self.q[0] if self.q else None
+
+    def pop(self) -> Tuple["Packet", int]:
+        item = self.q.popleft()
+        r = self.router
+        if r is not None:
+            r.flits -= 1
+        return item
+
+    def clear_switching(self) -> None:
+        """Delete the FCU table entry (tail flit has departed)."""
+        self.cur_out = None
+        self.cur_vc = 0
+        self.cur_deliver = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<FlitBuffer {self.label!r} {len(self.q)}/{self.capacity}"
+                f"{' streaming' if self.cur_out is not None else ''}>")

@@ -1,0 +1,166 @@
+"""Network assembly and the per-cycle simulation step.
+
+A :class:`Network` owns N routers and N adapters (network interfaces /
+transceivers).  It is deliberately topology-agnostic: the topology package
+describes the wiring, a router factory builds the switches, and adapters
+implement injection and delivery policy (the transceiver of Sec. 2.4 for
+the Quarc, the one-port adapter for the Spidergon).
+
+The step loop is the simulator's hot path; see :mod:`repro.noc.router` for
+the two-phase semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from repro.noc.ports import Move
+from repro.noc.router import Router, commit_move
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.packet import Packet
+    from repro.sim.engine import Simulator
+
+__all__ = ["Network", "Adapter"]
+
+
+class Adapter:
+    """Base network interface (PE-side).
+
+    Concrete adapters implement:
+
+    * :meth:`send` -- accept a message from the PE, flit-ize it and place
+      the flits into the appropriate injection queue(s);
+    * :meth:`receive_tail` -- called when a packet's tail flit reaches
+      this node (ejection or broadcast clone), for delivery accounting and
+      Spidergon-style broadcast regeneration.
+    """
+
+    __slots__ = ("node", "net")
+
+    def __init__(self, node: int):
+        self.node = node
+        self.net: Optional["Network"] = None
+
+    def send(self, pkt: "Packet", now: int) -> None:
+        raise NotImplementedError
+
+    def receive_tail(self, pkt: "Packet", now: int) -> None:
+        raise NotImplementedError
+
+
+class Network:
+    """N routers + N adapters + the step loop.
+
+    Parameters
+    ----------
+    routers:
+        One router per node, index == node id.
+    adapters:
+        One adapter per node, index == node id.
+    name:
+        Topology name for reports ("quarc", "spidergon", ...).
+    """
+
+    def __init__(self, routers: List[Router], adapters: List[Adapter],
+                 name: str = "noc"):
+        if len(routers) != len(adapters):
+            raise ValueError("routers and adapters must pair up one per node")
+        self.routers = routers
+        self.adapters = adapters
+        self.name = name
+        self.n = len(routers)
+        self.cycle = 0
+        self.flits_moved = 0
+        self.deliveries = 0
+        self._moves: List[Move] = []
+        self.on_tail: Optional[Callable[[int, "Packet", int], None]] = None
+        for r in routers:
+            r.net = self
+        for a in adapters:
+            a.net = self
+
+    # ------------------------------------------------------------------
+    # hot path
+    # ------------------------------------------------------------------
+    def step(self, now: Optional[int] = None) -> int:
+        """Advance one cycle; returns the number of flits moved."""
+        if now is None:
+            now = self.cycle
+        moves = self._moves
+        moves.clear()
+        for r in self.routers:
+            if r.flits:
+                r.collect(moves)
+        for mv in moves:
+            commit_move(mv, now, self)
+        moved = len(moves)
+        self.flits_moved += moved
+        self.cycle = now + 1
+        return moved
+
+    def run(self, cycles: int,
+            per_cycle: Optional[Callable[[int], None]] = None) -> None:
+        """Run ``cycles`` steps; ``per_cycle(t)`` (e.g. traffic generation)
+        runs before each step."""
+        step = self.step
+        t0 = self.cycle
+        if per_cycle is None:
+            for t in range(t0, t0 + cycles):
+                step(t)
+        else:
+            for t in range(t0, t0 + cycles):
+                per_cycle(t)
+                step(t)
+
+    def attach(self, sim: "Simulator") -> None:
+        """Drive this network from a DES kernel: one recurring step event
+        per cycle (used where an experiment mixes event-driven components,
+        e.g. the LocalLink co-simulation tests)."""
+        sim.every(1, lambda: self.step(int(sim.now)), start=sim.now + 1)
+
+    # ------------------------------------------------------------------
+    # delivery
+    # ------------------------------------------------------------------
+    def deliver(self, node: int, pkt: "Packet", fidx: int, now: int) -> None:
+        """A flit reached the PE at ``node`` (ejection or broadcast clone).
+
+        Only tail flits trigger adapter logic: wormhole delivery is
+        complete when the tail arrives, and per-flit callbacks would only
+        burn cycles.
+        """
+        if fidx == pkt.size - 1:
+            self.deliveries += 1
+            self.adapters[node].receive_tail(pkt, now)
+            cb = self.on_tail
+            if cb is not None:
+                cb(node, pkt, now)
+
+    # ------------------------------------------------------------------
+    # introspection / invariant checks (used heavily by tests)
+    # ------------------------------------------------------------------
+    def total_flits(self) -> int:
+        return sum(r.flits for r in self.routers)
+
+    def drain(self, max_cycles: int = 1_000_000) -> int:
+        """Run without new traffic until the network empties.
+
+        Returns cycles taken.  Raises ``RuntimeError`` if flits remain
+        after ``max_cycles`` -- which would indicate deadlock or a stuck
+        wormhole, so tests use this as a liveness oracle.
+        """
+        start = self.cycle
+        while self.total_flits():
+            if self.cycle - start > max_cycles:
+                raise RuntimeError(
+                    f"network failed to drain within {max_cycles} cycles; "
+                    f"{self.total_flits()} flits stuck (possible deadlock)")
+            self.step()
+        return self.cycle - start
+
+    def buffer_occupancy(self) -> List[int]:
+        return [r.occupancy() for r in self.routers]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Network {self.name!r} n={self.n} cycle={self.cycle} "
+                f"in_flight={self.total_flits()}>")

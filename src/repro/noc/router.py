@@ -1,0 +1,159 @@
+"""Wormhole router base class and the two-phase cycle update.
+
+A router owns input buffers (two VC lanes per physical input port, as in
+the paper's IPC) and output ports.  Every cycle the network runs two
+phases:
+
+* **Phase A (arbitrate)** -- every active router's output ports pick at
+  most one flit each, reading only start-of-cycle buffer state.  Because
+  no state mutates in this phase, simultaneous decisions across the whole
+  network are order-independent.
+* **Phase B (commit)** -- granted flits move: popped from their input
+  lane, pushed into the downstream buffer (next router's IPC) or delivered
+  to the local sink for ejection ports.  Wormhole/VC bookkeeping (the
+  FCU switching table and OPC VC-allocation table) updates here.
+
+The net effect is one cycle per hop, a one-cycle credit loop, and flit
+interleaving on physical links only between different VCs -- the same
+behaviour the paper's four-stage switch (input buffering, routing,
+switching, VC allocation) produces at the granularity its OMNeT++ model
+simulates.
+
+Concrete topologies subclass :class:`Router` and implement
+:meth:`Router.route_head`, which encodes the *entire* routing discipline;
+for the Quarc this is famously trivial ("there is no routing required by
+the switch", Sec. 2.5.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, TYPE_CHECKING
+
+from repro.noc.buffers import FlitBuffer
+from repro.noc.ports import Move, OutPort
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.network import Network
+    from repro.noc.packet import Packet
+
+__all__ = ["Router", "commit_move"]
+
+
+class Router:
+    """Base wormhole router.
+
+    Attributes
+    ----------
+    node:
+        This router's node id.
+    n:
+        Network size (number of nodes).
+    in_bufs:
+        All input VC lanes, including local injection queues.
+    out_ports:
+        All output ports, including ejection ports.
+    flits:
+        Total flits currently resident in this router's buffers and
+        injection queues; the network skips routers with ``flits == 0``.
+    """
+
+    __slots__ = ("node", "n", "in_bufs", "out_ports", "flits", "net")
+
+    def __init__(self, node: int, n: int):
+        self.node = node
+        self.n = n
+        self.in_bufs: List[FlitBuffer] = []
+        self.out_ports: List[OutPort] = []
+        self.flits = 0
+        self.net: Optional["Network"] = None
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def new_buffer(self, capacity: int, label: str,
+                   role: int = -1) -> FlitBuffer:
+        buf = FlitBuffer(capacity, label=f"r{self.node}.{label}",
+                         router=self, role=role)
+        self.in_bufs.append(buf)
+        return buf
+
+    def new_port(self, name: str, vcs: int = 2, is_dateline: bool = False,
+                 vc_policy: str = "dateline") -> OutPort:
+        port = OutPort(name, self, vcs=vcs, is_dateline=is_dateline,
+                       vc_policy=vc_policy)
+        self.out_ports.append(port)
+        return port
+
+    # ------------------------------------------------------------------
+    # routing -- the only topology-specific logic
+    # ------------------------------------------------------------------
+    def route_head(self, buf: FlitBuffer,
+                   pkt: "Packet") -> Tuple[OutPort, bool]:
+        """Route a header flit sitting at the front of ``buf``.
+
+        Returns ``(output port, clone_to_local)``.  ``clone_to_local``
+        True means every flit forwarded from this buffer is simultaneously
+        copied to the local PE -- the Quarc absorb-and-forward broadcast.
+        Must be deterministic and side-effect free (it is called once per
+        blocked head flit per cycle).
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # per-cycle phase A
+    # ------------------------------------------------------------------
+    def collect(self, moves: List[Move]) -> None:
+        """Arbitrate all output ports, appending granted moves."""
+        for port in self.out_ports:
+            mv = port.arbitrate()
+            if mv is not None:
+                moves.append(mv)
+
+    def occupancy(self) -> int:
+        """Flits resident in switch buffers (excludes local queues)."""
+        return sum(len(b.q) for b in self.in_bufs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<{type(self).__name__} node={self.node} "
+                f"flits={self.flits}>")
+
+
+def commit_move(move: Move, now: int, net: "Network") -> None:
+    """Phase B: execute one granted flit movement.
+
+    Handles, in order: the flit pop, FCU switching-table update (latch on
+    header, clear on tail), OPC VC-allocation table update, dateline VC
+    class upgrade, and the actual push -- downstream buffer for links,
+    local delivery for ejections, plus the broadcast clone copy when the
+    ingress multiplexer is in absorb-and-forward mode.
+    """
+    buf, port, vc, deliver = move
+    pkt, fidx = buf.pop()
+    tail = fidx == pkt.size - 1
+    head = fidx == 0
+
+    if head and not tail:
+        # latch switching info until the tail flit of this packet
+        port.owner[vc] = buf
+        buf.cur_out = port
+        buf.cur_vc = vc
+        buf.cur_deliver = deliver
+    if tail:
+        if port.owner[vc] is buf:
+            port.owner[vc] = None
+        buf.clear_switching()
+
+    port.flits_sent += 1
+    node = port.router.node
+    if deliver:
+        # absorb-and-forward: local PE receives a copy of the flit in the
+        # same cycle it is forwarded (the cloned ingress mux, Sec. 2.5.2)
+        net.deliver(node, pkt, fidx, now)
+
+    down = port.down[vc]
+    if down is None:
+        net.deliver(node, pkt, fidx, now)
+    else:
+        if port.is_dateline:
+            pkt.vclass = 1
+        down.push(pkt, fidx)

@@ -1,0 +1,42 @@
+"""Discrete-event / cycle simulation kernel.
+
+This subpackage is the reproduction's substitute for OMNeT++ (which the
+paper used for its flit-level simulator).  It provides:
+
+* :mod:`repro.sim.engine` -- a classic event-heap discrete-event simulator
+  (:class:`~repro.sim.engine.Simulator`) with one-shot and recurring events.
+* :mod:`repro.sim.rng` -- deterministic, named random-number streams so
+  that every experiment is exactly reproducible from a single seed.
+* :mod:`repro.sim.stats` -- online statistics (Welford mean/variance),
+  histograms, warmup-aware sample collectors and batch-means confidence
+  intervals.
+* :mod:`repro.sim.records` -- light-weight record types for latency
+  samples and simulation summaries.
+
+The flit-level NoC models in :mod:`repro.noc` register a single recurring
+"network step" activity with the engine, so the hot per-cycle loop stays in
+optimised plain-Python code while scheduling, stop conditions and
+instrumentation go through the kernel.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.stats import (
+    BatchMeans,
+    Histogram,
+    OnlineStats,
+    WarmupFilter,
+)
+from repro.sim.records import LatencySample, RunSummary
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "RngStreams",
+    "OnlineStats",
+    "Histogram",
+    "WarmupFilter",
+    "BatchMeans",
+    "LatencySample",
+    "RunSummary",
+]

@@ -1,0 +1,77 @@
+"""Record types shared by the simulator, experiments and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["LatencySample", "RunSummary"]
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """One end-to-end packet (or collective-op) latency observation."""
+
+    src: int
+    dst: int                  # -1 for collectives (all nodes)
+    traffic: str              # "unicast" | "broadcast" | "multicast"
+    created: int              # cycle the message entered the source queue
+    completed: int            # cycle the tail flit reached the (last) sink
+
+    @property
+    def latency(self) -> int:
+        return self.completed - self.created
+
+
+@dataclass
+class RunSummary:
+    """Aggregate results of one simulation point.
+
+    All latencies are in simulator cycles and include source queueing (the
+    paper measures from message generation, which is what exposes the
+    one-port vs all-port difference).
+    """
+
+    noc: str
+    n: int                        # network size
+    msg_len: int                  # M, flits per packet
+    bcast_frac: float             # beta
+    offered_rate: float           # messages / node / cycle
+    cycles: int
+    warmup: int
+    seed: int
+
+    unicast_mean: float = 0.0
+    unicast_ci: Optional[Tuple[float, float]] = None
+    unicast_samples: int = 0
+    unicast_max: float = 0.0
+
+    bcast_mean: float = 0.0       # completion latency (last receiver)
+    bcast_ci: Optional[Tuple[float, float]] = None
+    bcast_samples: int = 0
+    bcast_delivery_mean: float = 0.0   # mean over individual deliveries
+
+    generated_msgs: int = 0
+    delivered_msgs: int = 0
+    accepted_rate: float = 0.0    # delivered msgs / node / cycle
+    flits_moved: int = 0
+    in_flight_at_end: int = 0
+    saturated: bool = False       # backlog still growing at end of run
+
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def row(self) -> Dict[str, object]:
+        """Flat dict for CSV emission."""
+        return {
+            "noc": self.noc,
+            "N": self.n,
+            "M": self.msg_len,
+            "beta": self.bcast_frac,
+            "rate": self.offered_rate,
+            "unicast_lat": round(self.unicast_mean, 2),
+            "bcast_lat": round(self.bcast_mean, 2),
+            "accepted": round(self.accepted_rate, 5),
+            "unicast_n": self.unicast_samples,
+            "bcast_n": self.bcast_samples,
+            "saturated": int(self.saturated),
+        }

@@ -1,0 +1,217 @@
+"""Online statistics for simulation output analysis.
+
+The paper reports *average latency* curves versus offered load.  Producing
+those numbers correctly requires the usual steady-state machinery:
+
+* :class:`OnlineStats` -- numerically stable streaming mean/variance
+  (Welford's algorithm), no sample storage.
+* :class:`Histogram` -- fixed-bin latency histograms for distribution
+  shape checks.
+* :class:`WarmupFilter` -- drops samples generated during the transient
+  phase so only steady-state packets are measured.
+* :class:`BatchMeans` -- batch-means confidence intervals for the mean of
+  an autocorrelated output series (latencies of successive packets are
+  correlated, so naive i.i.d. CIs would be too tight).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["OnlineStats", "Histogram", "WarmupFilter", "BatchMeans",
+           "quantile"]
+
+
+class OnlineStats:
+    """Streaming count/mean/variance/min/max via Welford's algorithm."""
+
+    __slots__ = ("n", "mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, x: float) -> None:
+        """Fold one sample into the summary."""
+        self.n += 1
+        delta = x - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (x - self.mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    def merge(self, other: "OnlineStats") -> None:
+        """Fold another summary in (parallel-combinable, Chan et al.)."""
+        if other.n == 0:
+            return
+        if self.n == 0:
+            self.n, self.mean, self._m2 = other.n, other.mean, other._m2
+            self.min, self.max = other.min, other.max
+            return
+        n = self.n + other.n
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta * delta * self.n * other.n / n
+        self.mean += delta * other.n / n
+        self.n = n
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0 for fewer than 2 samples)."""
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        return self.stddev / math.sqrt(self.n) if self.n else 0.0
+
+    def __repr__(self) -> str:
+        if self.n == 0:
+            return "OnlineStats(empty)"
+        return (f"OnlineStats(n={self.n}, mean={self.mean:.3f}, "
+                f"sd={self.stddev:.3f}, min={self.min:g}, max={self.max:g})")
+
+
+class Histogram:
+    """Fixed-width-bin histogram with overflow/underflow buckets."""
+
+    def __init__(self, lo: float, hi: float, bins: int):
+        if bins <= 0:
+            raise ValueError("bins must be positive")
+        if hi <= lo:
+            raise ValueError("hi must exceed lo")
+        self.lo = lo
+        self.hi = hi
+        self.bins = bins
+        self.width = (hi - lo) / bins
+        self.counts = [0] * bins
+        self.underflow = 0
+        self.overflow = 0
+
+    def add(self, x: float) -> None:
+        if x < self.lo:
+            self.underflow += 1
+        elif x >= self.hi:
+            self.overflow += 1
+        else:
+            self.counts[int((x - self.lo) / self.width)] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts) + self.underflow + self.overflow
+
+    def bin_edges(self) -> List[Tuple[float, float]]:
+        return [(self.lo + i * self.width, self.lo + (i + 1) * self.width)
+                for i in range(self.bins)]
+
+    def cdf_at(self, x: float) -> float:
+        """Empirical CDF evaluated at ``x`` (bin-granular)."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        acc = self.underflow
+        for (lo, hi), c in zip(self.bin_edges(), self.counts):
+            if hi <= x:
+                acc += c
+            else:
+                break
+        return acc / total
+
+
+class WarmupFilter:
+    """Routes samples into a collector only after the warmup period.
+
+    A sample is *kept* when the measured entity was **created** at or after
+    ``warmup_end``; entities created during warmup are discarded even if
+    they complete afterwards, which avoids the classic initialization bias
+    of measuring packets injected into an empty network.
+    """
+
+    def __init__(self, warmup_end: float):
+        self.warmup_end = warmup_end
+        self.kept = OnlineStats()
+        self.dropped = 0
+
+    def add(self, value: float, created_at: float) -> bool:
+        """Add ``value`` if ``created_at`` is past warmup.  Returns kept?"""
+        if created_at < self.warmup_end:
+            self.dropped += 1
+            return False
+        self.kept.add(value)
+        return True
+
+
+class BatchMeans:
+    """Batch-means estimator for the mean of a correlated series.
+
+    Samples are accumulated into ``nbatches`` equal-size batches; the batch
+    averages are (approximately) independent, so a t-interval over them is
+    a defensible confidence interval for steady-state simulation output.
+    """
+
+    #: two-sided 95% t critical values for df = 1..30 (df>30 -> 1.96)
+    _T95 = [12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+            2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+            2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+            2.048, 2.045, 2.042]
+
+    def __init__(self, batch_size: int = 200):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.batch_size = batch_size
+        self._acc = 0.0
+        self._acc_n = 0
+        self.batch_averages: List[float] = []
+        self.overall = OnlineStats()
+
+    def add(self, x: float) -> None:
+        self.overall.add(x)
+        self._acc += x
+        self._acc_n += 1
+        if self._acc_n == self.batch_size:
+            self.batch_averages.append(self._acc / self._acc_n)
+            self._acc = 0.0
+            self._acc_n = 0
+
+    @property
+    def mean(self) -> float:
+        return self.overall.mean
+
+    def confidence_interval(self) -> Optional[Tuple[float, float]]:
+        """95% CI for the mean, or ``None`` with fewer than 2 batches."""
+        k = len(self.batch_averages)
+        if k < 2:
+            return None
+        stats = OnlineStats()
+        for b in self.batch_averages:
+            stats.add(b)
+        df = k - 1
+        t = self._T95[df - 1] if df <= 30 else 1.96
+        half = t * stats.stddev / math.sqrt(k)
+        return (stats.mean - half, stats.mean + half)
+
+
+def quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated quantile of an already sorted sequence."""
+    if not sorted_values:
+        raise ValueError("empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    pos = q * (len(sorted_values) - 1)
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return float(sorted_values[lo])
+    frac = pos - lo
+    return float(sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac)

@@ -1,0 +1,28 @@
+"""Topology descriptions and routing math.
+
+Each topology class is *pure data + math*: node counts, channel lists,
+deterministic routing paths, quadrant/dateline rules and hop-count
+statistics.  The simulator's routers consult them for wiring; the
+analytical models consult them for load calculations; the tests use them
+(together with networkx) as shortest-path oracles.
+"""
+
+from repro.topologies.base import Channel, Topology
+from repro.topologies.ring import RingTopology, ccw_dist, cw_dist, ring_dist
+from repro.topologies.spidergon import SpidergonTopology
+from repro.topologies.quarc import QuarcTopology
+from repro.topologies.mesh import MeshTopology
+from repro.topologies.torus import TorusTopology
+
+__all__ = [
+    "Topology",
+    "Channel",
+    "RingTopology",
+    "SpidergonTopology",
+    "QuarcTopology",
+    "MeshTopology",
+    "TorusTopology",
+    "cw_dist",
+    "ccw_dist",
+    "ring_dist",
+]

@@ -1,0 +1,71 @@
+"""Bidirectional ring -- the building block of Spidergon and Quarc rims.
+
+Also provides the modular-distance helpers used throughout the
+reproduction and the dateline convention:
+
+* the **clockwise** direction is increasing node index (mod N);
+* the CW dateline link is ``N-1 -> 0``; the CCW dateline link is
+  ``0 -> N-1``.  Packets crossing a dateline are upgraded to VC class 1,
+  which breaks the cyclic channel dependency of each rim ring.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.topologies.base import Channel, Topology
+
+__all__ = ["RingTopology", "cw_dist", "ccw_dist", "ring_dist",
+           "is_cw_dateline", "is_ccw_dateline"]
+
+
+def cw_dist(src: int, dst: int, n: int) -> int:
+    """Clockwise hop distance from ``src`` to ``dst`` on an N-ring."""
+    return (dst - src) % n
+
+
+def ccw_dist(src: int, dst: int, n: int) -> int:
+    """Counter-clockwise hop distance from ``src`` to ``dst``."""
+    return (src - dst) % n
+
+
+def ring_dist(src: int, dst: int, n: int) -> int:
+    """Shortest ring distance (either direction)."""
+    k = cw_dist(src, dst, n)
+    return min(k, n - k)
+
+
+def is_cw_dateline(src: int, dst: int, n: int) -> bool:
+    """True for the CW rim link that wraps the index space."""
+    return src == n - 1 and dst == 0
+
+
+def is_ccw_dateline(src: int, dst: int, n: int) -> bool:
+    """True for the CCW rim link that wraps the index space."""
+    return src == 0 and dst == n - 1
+
+
+class RingTopology(Topology):
+    """Plain bidirectional ring with shortest-direction routing.
+
+    Ties (exactly opposite nodes on an even ring) break clockwise, making
+    the routing function fully deterministic.
+    """
+
+    name = "ring"
+
+    def channels(self) -> List[Channel]:
+        chans = []
+        n = self.n
+        for i in range(n):
+            chans.append(Channel(i, (i + 1) % n, "cw"))
+            chans.append(Channel(i, (i - 1) % n, "ccw"))
+        return chans
+
+    def path(self, src: int, dst: int) -> List[int]:
+        self.validate_pair(src, dst)
+        n = self.n
+        k = cw_dist(src, dst, n)
+        if k <= n - k:
+            return [(src + i) % n for i in range(k + 1)]
+        return [(src - i) % n for i in range(n - k + 1)]

@@ -1,0 +1,119 @@
+"""The Spidergon topology (Coppola et al., baseline of the paper).
+
+An even number N of nodes; each node has unidirectional rim links to its
+clockwise and counter-clockwise neighbours plus one bidirectional cross
+connection ("spoke") to the antipodal node ``i + N/2``.
+
+Routing is the standard deterministic **across-first** scheme: take the
+spoke when the rim distance exceeds N/4, then finish along the rim in the
+shorter direction; otherwise travel the rim directly.  The spoke is only
+ever taken as the *first* hop, so cross channels never participate in the
+rim rings' cyclic dependencies; the rims use the 2-VC dateline discipline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.topologies.base import Channel, Topology
+from repro.topologies.ring import ccw_dist, cw_dist
+
+__all__ = ["SpidergonTopology"]
+
+#: First-hop directions returned by :meth:`SpidergonTopology.first_port`.
+CW, CCW, ACROSS = "cw", "ccw", "across"
+
+
+class SpidergonTopology(Topology):
+    """Spidergon graph + across-first deterministic routing."""
+
+    name = "spidergon"
+
+    def __init__(self, n: int):
+        super().__init__(n)
+        if n % 2:
+            raise ValueError(f"Spidergon requires an even node count (got {n})")
+        if n < 4:
+            raise ValueError(f"Spidergon needs at least 4 nodes (got {n})")
+
+    # -- structure ------------------------------------------------------
+    def channels(self) -> List[Channel]:
+        chans = []
+        n = self.n
+        half = n // 2
+        for i in range(n):
+            chans.append(Channel(i, (i + 1) % n, "cw"))
+            chans.append(Channel(i, (i - 1) % n, "ccw"))
+            chans.append(Channel(i, (i + half) % n, "cross"))
+        return chans
+
+    def antipode(self, node: int) -> int:
+        return (node + self.n // 2) % self.n
+
+    # -- routing --------------------------------------------------------
+    def first_port(self, src: int, dst: int) -> str:
+        """Across-first routing decision made at the source.
+
+        Rim when ``min(cw, ccw) <= N/4`` (ties prefer the rim, matching
+        the scheme's "cross only when strictly shorter" property), spoke
+        otherwise.  Comparing ``4*dist > N`` keeps everything integral for
+        N not divisible by 4.
+        """
+        self.validate_pair(src, dst)
+        n = self.n
+        k = cw_dist(src, dst, n)
+        if 4 * min(k, n - k) > n:
+            return ACROSS
+        return CW if k <= n - k else CCW
+
+    def rim_direction_from(self, at: int, dst: int) -> str:
+        """Direction of the rim leg (used after landing from the spoke)."""
+        n = self.n
+        k = cw_dist(at, dst, n)
+        return CW if k <= n - k else CCW
+
+    def path(self, src: int, dst: int) -> List[int]:
+        self.validate_pair(src, dst)
+        n = self.n
+        first = self.first_port(src, dst)
+        nodes = [src]
+        at = src
+        if first == ACROSS:
+            at = self.antipode(src)
+            nodes.append(at)
+            if at == dst:
+                return nodes
+            first = self.rim_direction_from(at, dst)
+        step = 1 if first == CW else -1
+        while at != dst:
+            at = (at + step) % n
+            nodes.append(at)
+        return nodes
+
+    # -- broadcast ------------------------------------------------------
+    def broadcast_chains(self, src: int) -> List[Tuple[str, List[int]]]:
+        """The broadcast-by-unicast relay chains from ``src``.
+
+        The paper's most efficient Spidergon broadcast costs ``N-1`` hops:
+        two neighbour-to-neighbour relay chains, one clockwise over
+        ``ceil((N-1)/2)`` nodes and one counter-clockwise over the rest.
+        Each chain entry lists the nodes visited in order; every visited
+        node absorbs the packet and re-injects a fresh unicast to the next
+        (Sec. 2.2: "deadlock-free broadcast can only be achieved by
+        consecutive unicast transmissions").
+        """
+        n = self.n
+        cw_count = (n - 1 + 1) // 2          # ceil((N-1)/2)
+        ccw_count = (n - 1) - cw_count
+        cw_chain = [(src + i) % n for i in range(1, cw_count + 1)]
+        ccw_chain = [(src - i) % n for i in range(1, ccw_count + 1)]
+        chains: List[Tuple[str, List[int]]] = []
+        if cw_chain:
+            chains.append((CW, cw_chain))
+        if ccw_chain:
+            chains.append((CCW, ccw_chain))
+        return chains
+
+    def broadcast_total_hops(self, src: int) -> int:
+        """Total link traversals of a broadcast -- must equal N-1."""
+        return sum(len(chain) for _, chain in self.broadcast_chains(src))

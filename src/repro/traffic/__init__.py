@@ -1,0 +1,35 @@
+"""Synthetic workloads: injection processes, spatial patterns, mixes.
+
+The paper's evaluation drives both NoCs with uniformly-distributed
+unicasts at a swept per-node message rate, with a fraction ``beta`` of
+messages replaced by broadcasts.  :class:`~repro.traffic.mix.TrafficMix`
+reproduces exactly that; the extra spatial patterns (hotspot, transpose,
+bit-complement, neighbour) support the wider test-suite and the
+future-work comparisons.
+"""
+
+from repro.traffic.generators import (
+    BernoulliInjector,
+    DestinationPattern,
+    UniformPattern,
+    HotspotPattern,
+    TransposePattern,
+    BitComplementPattern,
+    NeighbourPattern,
+    PermutationPattern,
+)
+from repro.traffic.mix import TrafficMix
+from repro.traffic.workload import WorkloadSpec
+
+__all__ = [
+    "BernoulliInjector",
+    "DestinationPattern",
+    "UniformPattern",
+    "HotspotPattern",
+    "TransposePattern",
+    "BitComplementPattern",
+    "NeighbourPattern",
+    "PermutationPattern",
+    "TrafficMix",
+    "WorkloadSpec",
+]

@@ -1,0 +1,167 @@
+"""Injection processes and spatial destination patterns.
+
+Message arrivals at each node follow an independent Bernoulli process:
+with probability ``rate`` per cycle a node creates one message -- the
+discrete-time analogue of the Poisson sources used in the paper's
+simulator and in the analytical models of [8].  Destination choice is a
+pluggable :class:`DestinationPattern`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+__all__ = [
+    "BernoulliInjector",
+    "DestinationPattern",
+    "UniformPattern",
+    "HotspotPattern",
+    "TransposePattern",
+    "BitComplementPattern",
+    "NeighbourPattern",
+    "PermutationPattern",
+]
+
+
+class BernoulliInjector:
+    """Per-node Bernoulli(rate) arrival process."""
+
+    __slots__ = ("rate", "rng", "arrivals")
+
+    def __init__(self, rate: float, rng: random.Random):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1] (got {rate})")
+        self.rate = rate
+        self.rng = rng
+        self.arrivals = 0
+
+    def fires(self) -> bool:
+        """One per-cycle coin flip."""
+        if self.rng.random() < self.rate:
+            self.arrivals += 1
+            return True
+        return False
+
+
+class DestinationPattern:
+    """Maps (source, rng) to a destination node."""
+
+    name = "abstract"
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise ValueError("patterns need at least 2 nodes")
+        self.n = n
+
+    def pick(self, src: int, rng: random.Random) -> int:
+        raise NotImplementedError
+
+
+class UniformPattern(DestinationPattern):
+    """Uniformly random destination != source (the paper's workload)."""
+
+    name = "uniform"
+
+    def pick(self, src: int, rng: random.Random) -> int:
+        d = rng.randrange(self.n - 1)
+        return d if d < src else d + 1
+
+
+class HotspotPattern(DestinationPattern):
+    """With probability ``p`` target the hotspot node, else uniform."""
+
+    name = "hotspot"
+
+    def __init__(self, n: int, hotspot: int = 0, p: float = 0.2):
+        super().__init__(n)
+        if not 0 <= hotspot < n:
+            raise ValueError(f"hotspot node {hotspot} out of range")
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"hotspot probability must be in [0,1] (got {p})")
+        self.hotspot = hotspot
+        self.p = p
+        self._uniform = UniformPattern(n)
+
+    def pick(self, src: int, rng: random.Random) -> int:
+        if src != self.hotspot and rng.random() < self.p:
+            return self.hotspot
+        return self._uniform.pick(src, rng)
+
+
+class TransposePattern(DestinationPattern):
+    """Bit-transpose: dst = rotate(src) -- a classic adversarial pattern.
+
+    Requires a power-of-two node count; sources whose transpose equals
+    themselves fall back to uniform.
+    """
+
+    name = "transpose"
+
+    def __init__(self, n: int):
+        super().__init__(n)
+        if n & (n - 1):
+            raise ValueError(f"transpose needs a power-of-two size (got {n})")
+        self.bits = n.bit_length() - 1
+        self._uniform = UniformPattern(n)
+
+    def pick(self, src: int, rng: random.Random) -> int:
+        half = self.bits // 2
+        lo = src & ((1 << half) - 1)
+        hi = src >> half
+        dst = (lo << (self.bits - half)) | hi
+        if dst == src:
+            return self._uniform.pick(src, rng)
+        return dst
+
+
+class BitComplementPattern(DestinationPattern):
+    """dst = ~src: every message crosses the network centre."""
+
+    name = "bit-complement"
+
+    def __init__(self, n: int):
+        super().__init__(n)
+        if n & (n - 1):
+            raise ValueError(
+                f"bit-complement needs a power-of-two size (got {n})")
+        self.mask = n - 1
+
+    def pick(self, src: int, rng: random.Random) -> int:
+        return src ^ self.mask
+
+
+class NeighbourPattern(DestinationPattern):
+    """dst = src + 1 (mod N): pure nearest-neighbour rim traffic."""
+
+    name = "neighbour"
+
+    def pick(self, src: int, rng: random.Random) -> int:
+        return (src + 1) % self.n
+
+
+class PermutationPattern(DestinationPattern):
+    """A fixed random derangement (every node targets one distinct node)."""
+
+    name = "permutation"
+
+    def __init__(self, n: int, seed: int = 0,
+                 mapping: Optional[Sequence[int]] = None):
+        super().__init__(n)
+        if mapping is not None:
+            if sorted(mapping) != list(range(n)):
+                raise ValueError("mapping must be a permutation of 0..N-1")
+            if any(i == m for i, m in enumerate(mapping)):
+                raise ValueError("mapping must have no fixed points")
+            self.mapping = list(mapping)
+            return
+        rng = random.Random(seed)
+        while True:
+            perm = list(range(n))
+            rng.shuffle(perm)
+            if all(i != p for i, p in enumerate(perm)):
+                self.mapping = perm
+                return
+
+    def pick(self, src: int, rng: random.Random) -> int:
+        return self.mapping[src]

@@ -1,0 +1,78 @@
+"""The paper's traffic mix: uniform unicasts + a broadcast fraction beta.
+
+Every cycle, every node flips a Bernoulli(rate) coin; on arrival the
+message becomes a broadcast with probability ``beta`` and a pattern-chosen
+unicast otherwise.  Message length is ``msg_len`` flits for both classes
+(the paper's M).  The mix drives any network built by
+:func:`repro.core.api.build_network` through the adapters' uniform
+``send`` / ``send_broadcast`` interface.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.noc.packet import Packet, UNICAST
+from repro.sim.rng import RngStreams
+from repro.traffic.generators import (BernoulliInjector, DestinationPattern,
+                                      UniformPattern)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.network import Network
+
+__all__ = ["TrafficMix"]
+
+
+class TrafficMix:
+    """Drives one network with the paper's (rate, M, beta) workload."""
+
+    def __init__(self, net: "Network", rate: float, msg_len: int,
+                 beta: float = 0.0, seed: int = 0,
+                 pattern: Optional[DestinationPattern] = None,
+                 stop_generating_at: Optional[int] = None):
+        if msg_len < 1:
+            raise ValueError(f"message length must be >= 1 flit (got {msg_len})")
+        if not 0.0 <= beta <= 1.0:
+            raise ValueError(f"beta must be in [0, 1] (got {beta})")
+        self.net = net
+        self.rate = rate
+        self.msg_len = msg_len
+        self.beta = beta
+        self.pattern = pattern or UniformPattern(net.n)
+        #: optional drain horizon: no new messages at or after this cycle
+        self.stop_generating_at = stop_generating_at
+
+        streams = RngStreams(seed)
+        # identical streams for identical seeds => common random numbers
+        # across the Quarc/Spidergon comparison (see repro.sim.rng)
+        self._injectors = [
+            BernoulliInjector(rate, streams.get(f"node{i}.arrivals"))
+            for i in range(net.n)]
+        self._class_rng = [streams.get(f"node{i}.class")
+                           for i in range(net.n)]
+        self._dst_rng = [streams.get(f"node{i}.dst") for i in range(net.n)]
+        self.generated_unicasts = 0
+        self.generated_broadcasts = 0
+
+    def generate(self, now: int) -> None:
+        """Per-cycle arrival pass; call before ``net.step(now)``."""
+        if (self.stop_generating_at is not None
+                and now >= self.stop_generating_at):
+            return
+        adapters = self.net.adapters
+        beta = self.beta
+        for i, inj in enumerate(self._injectors):
+            if not inj.fires():
+                continue
+            if beta and self._class_rng[i].random() < beta:
+                adapters[i].send_broadcast(self.msg_len, now)
+                self.generated_broadcasts += 1
+            else:
+                dst = self.pattern.pick(i, self._dst_rng[i])
+                pkt = Packet(i, dst, self.msg_len, UNICAST, created=now)
+                adapters[i].send(pkt, now)
+                self.generated_unicasts += 1
+
+    @property
+    def generated_total(self) -> int:
+        return self.generated_unicasts + self.generated_broadcasts

@@ -1,0 +1,55 @@
+"""Declarative workload specifications for experiments.
+
+A :class:`WorkloadSpec` is a frozen description of one simulation point --
+network kind, size, message length, broadcast fraction, injection rate,
+horizon and seed -- that the experiment drivers and benchmarks pass
+around, log into CSVs and hash into RNG streams.  Keeping it declarative
+means every figure in EXPERIMENTS.md is reproducible from its parameter
+row alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, Sequence
+
+__all__ = ["WorkloadSpec"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One simulation point of the paper's parameter space."""
+
+    kind: str                 # "quarc" | "spidergon" | "mesh" | "torus"
+    n: int                    # network size N
+    msg_len: int              # message length M (flits)
+    beta: float               # broadcast fraction
+    rate: float               # messages / node / cycle
+    cycles: int = 12_000      # total simulated cycles
+    warmup: int = 3_000       # cycles before measurement starts
+    seed: int = 1
+    buffer_depth: int = 4
+    pattern: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.cycles <= self.warmup:
+            raise ValueError(
+                f"cycles ({self.cycles}) must exceed warmup ({self.warmup})")
+        if self.rate < 0:
+            raise ValueError(f"rate must be non-negative (got {self.rate})")
+        if not 0.0 <= self.beta <= 1.0:
+            raise ValueError(f"beta must be in [0,1] (got {self.beta})")
+
+    def with_rate(self, rate: float) -> "WorkloadSpec":
+        return replace(self, rate=rate)
+
+    def with_kind(self, kind: str) -> "WorkloadSpec":
+        return replace(self, kind=kind)
+
+    def sweep_rates(self, rates: Sequence[float]) -> Iterator["WorkloadSpec"]:
+        for r in rates:
+            yield self.with_rate(r)
+
+    def label(self) -> str:
+        return (f"{self.kind} N={self.n} M={self.msg_len} "
+                f"beta={self.beta:g} rate={self.rate:g}")

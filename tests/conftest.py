@@ -1,0 +1,43 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import pytest
+
+from repro.core.api import build_network
+from repro.core.collector import LatencyCollector
+from repro.noc.network import Network
+from repro.noc.packet import Packet, UNICAST
+
+
+def drain(net: Network, max_cycles: int = 200_000) -> int:
+    """Run without new traffic until empty; returns cycles taken."""
+    return net.drain(max_cycles)
+
+
+def send_one(net: Network, src: int, dst: int, size: int,
+             now: int = 0) -> Packet:
+    pkt = Packet(src, dst, size, UNICAST, created=now)
+    net.adapters[src].send(pkt, now)
+    return pkt
+
+
+def run_cycles(net: Network, cycles: int) -> None:
+    for _ in range(cycles):
+        net.step()
+
+
+@pytest.fixture
+def quarc16() -> Tuple[Network, LatencyCollector]:
+    coll = LatencyCollector()
+    net, _ = build_network("quarc", 16, collector=coll)
+    return net, coll
+
+
+@pytest.fixture
+def spidergon16() -> Tuple[Network, LatencyCollector]:
+    coll = LatencyCollector()
+    net, _ = build_network("spidergon", 16, collector=coll)
+    return net, coll

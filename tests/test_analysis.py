@@ -1,0 +1,167 @@
+"""Tests for the analytical models: coefficients, saturation, predictions.
+
+The models are validated the way the paper used its own (Sec. 3.2):
+against the simulator at low and moderate load, plus structural checks
+(monotonicity, asymptotes, symmetry arguments).
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import (mg1_wait, predict_broadcast_latency,
+                            predict_unicast_latency, saturation_rate,
+                            stage_coefficients, uniform_link_loads)
+from repro.analysis.models import average_hops
+from repro.experiments.latency import run_point
+from repro.traffic.workload import WorkloadSpec
+
+
+class TestQueueingPrimitives:
+    def test_wait_zero_at_zero_load(self):
+        assert mg1_wait(0.0, 16) == 0.0
+
+    def test_wait_monotone(self):
+        waits = [mg1_wait(r, 16) for r in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert waits == sorted(waits)
+
+    def test_wait_infinite_at_saturation(self):
+        assert math.isinf(mg1_wait(1.0, 16))
+        assert math.isinf(mg1_wait(1.5, 16))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            mg1_wait(-0.1, 16)
+        with pytest.raises(ValueError):
+            mg1_wait(0.5, -1)
+
+
+class TestStageCoefficients:
+    def test_quarc_injection_advantage(self):
+        """Four queues vs one: Spidergon's injection coefficient must be
+        ~4x the Quarc's under pure unicast."""
+        q = stage_coefficients("quarc", 16, 16, 0.0)
+        s = stage_coefficients("spidergon", 16, 16, 0.0)
+        assert s["injection"] / q["injection"] == pytest.approx(
+            15 / 4, rel=0.05)
+
+    def test_spidergon_ejection_explodes_with_beta(self):
+        s0 = stage_coefficients("spidergon", 64, 16, 0.0)
+        s10 = stage_coefficients("spidergon", 64, 16, 0.10)
+        q10 = stage_coefficients("quarc", 64, 16, 0.10)
+        assert s10["ejection"] > 6 * s0["ejection"]
+        assert s10["ejection"] > 2 * q10["ejection"]
+
+    def test_rim_coefficients_similar_without_broadcast(self):
+        """Pure unicast rim load is nearly identical by construction."""
+        q = stage_coefficients("quarc", 32, 16, 0.0)
+        s = stage_coefficients("spidergon", 32, 16, 0.0)
+        assert q["rim"] == pytest.approx(s["rim"], rel=0.1)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            stage_coefficients("hypercube", 16, 16)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            stage_coefficients("quarc", 16, 0)
+        with pytest.raises(ValueError):
+            stage_coefficients("quarc", 16, 16, beta=2.0)
+
+
+class TestSaturation:
+    @pytest.mark.parametrize("n", [16, 32, 64])
+    def test_quarc_sustains_more_than_spidergon(self, n):
+        for beta in (0.0, 0.05, 0.10):
+            q = saturation_rate("quarc", n, 16, beta)
+            s = saturation_rate("spidergon", n, 16, beta)
+            assert q >= s
+
+    def test_broadcast_collapses_spidergon_capacity(self):
+        """Fig. 11's story in closed form: adding 10% broadcast costs the
+        Spidergon a large share of its sustainable load, and its binding
+        resource becomes the single ejection port (relay absorption),
+        while the Quarc stays rim-limited and sustains strictly more."""
+        s0 = saturation_rate("spidergon", 64, 16, 0.0)
+        s10 = saturation_rate("spidergon", 64, 16, 0.10)
+        q10 = saturation_rate("quarc", 64, 16, 0.10)
+        assert s10 < 0.65 * s0                     # severe capacity loss
+        assert q10 > s10                           # Quarc sustains more
+        coeffs = stage_coefficients("spidergon", 64, 16, 0.10)
+        assert max(coeffs, key=coeffs.get) == "ejection"
+
+    def test_longer_messages_saturate_earlier(self):
+        assert (saturation_rate("quarc", 16, 32, 0.05)
+                < saturation_rate("quarc", 16, 8, 0.05))
+
+
+class TestLatencyPredictions:
+    def test_zero_load_intercepts(self):
+        """At rate ~0 the model reduces to hops + M - 1 + adapter."""
+        for kind in ("quarc", "spidergon"):
+            pred = predict_unicast_latency(kind, 16, 16, 0.0, 1e-9)
+            base = average_hops(kind, 16) + 15
+            assert pred == pytest.approx(base + 1, abs=0.5)
+
+    def test_monotone_in_rate(self):
+        rates = [0.001, 0.005, 0.01, 0.02, 0.03]
+        for kind in ("quarc", "spidergon"):
+            preds = [predict_unicast_latency(kind, 16, 16, 0.05, r)
+                     for r in rates]
+            assert preds == sorted(preds)
+
+    def test_infinite_past_saturation(self):
+        sat = saturation_rate("spidergon", 16, 16, 0.05)
+        assert math.isinf(
+            predict_unicast_latency("spidergon", 16, 16, 0.05, sat * 1.1))
+
+    def test_broadcast_order_of_magnitude_gap(self):
+        q = predict_broadcast_latency("quarc", 64, 16, 0.05, 1e-9)
+        s = predict_broadcast_latency("spidergon", 64, 16, 0.05, 1e-9)
+        assert s / q > 10
+
+    def test_broadcast_model_unsupported_kind(self):
+        with pytest.raises(ValueError):
+            predict_broadcast_latency("mesh", 16, 16, 0.0, 0.01)
+
+
+class TestModelVsSimulator:
+    """The verification loop the paper describes: analysis vs simulation."""
+
+    @pytest.mark.parametrize("kind", ["quarc", "spidergon"])
+    def test_low_load_agreement(self, kind):
+        spec = WorkloadSpec(kind=kind, n=16, msg_len=8, beta=0.0,
+                            rate=0.002, cycles=6000, warmup=1500, seed=3)
+        sim = run_point(spec)
+        pred = predict_unicast_latency(kind, 16, 8, 0.0, 0.002)
+        assert sim.unicast_mean == pytest.approx(pred, rel=0.15)
+
+    @pytest.mark.parametrize("kind", ["quarc", "spidergon"])
+    def test_zero_load_broadcast_agreement(self, kind):
+        spec = WorkloadSpec(kind=kind, n=16, msg_len=8, beta=0.05,
+                            rate=0.001, cycles=8000, warmup=1000, seed=3)
+        sim = run_point(spec)
+        pred = predict_broadcast_latency(kind, 16, 8, 0.05, 0.001)
+        assert sim.bcast_mean == pytest.approx(pred, rel=0.25)
+
+    def test_sim_saturates_below_analytic_bound(self):
+        """Wormhole blocking wastes capacity: the simulated network must
+        saturate at or below the fluid M/G/1 bound, never above it."""
+        sat = saturation_rate("quarc", 16, 16, 0.0)
+        spec = WorkloadSpec(kind="quarc", n=16, msg_len=16, beta=0.0,
+                            rate=sat * 1.3, cycles=6000, warmup=1500,
+                            seed=3)
+        assert run_point(spec).saturated
+
+
+class TestUniformLinkLoads:
+    def test_loads_positive_and_complete(self):
+        for kind in ("quarc", "spidergon"):
+            loads = uniform_link_loads(kind, 16)
+            assert set(loads) == {"cw", "ccw", "cross"}
+            assert all(v > 0 for v in loads.values())
+
+    def test_total_equals_average_hops(self):
+        loads = uniform_link_loads("quarc", 16)
+        assert sum(loads.values()) == pytest.approx(
+            average_hops("quarc", 16), rel=1e-9)

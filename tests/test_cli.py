@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_info_defaults(self):
+        args = build_parser().parse_args(["info"])
+        assert args.kind == "quarc"
+        assert args.nodes == 16
+
+    def test_point_requires_rate(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["point"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--kind", "spidergon", "-n", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "avg hops" in out
+        assert "analytic saturation" in out
+        assert "binding" in out
+
+    def test_info_mesh_has_no_model(self, capsys):
+        assert main(["info", "--kind", "mesh", "-n", "16"]) == 0
+        assert "avg hops" in capsys.readouterr().out
+
+    def test_point(self, capsys):
+        rc = main(["point", "--kind", "quarc", "-n", "8", "-M", "4",
+                   "--rate", "0.01", "--cycles", "1500",
+                   "--warmup", "300"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "quarc" in out
+        assert "unicast_lat" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "735" in out and "1453" in out
+
+    def test_fig12(self, capsys):
+        assert main(["fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "1453" in out and "quarc_slices" in out
+
+    def test_sweep_writes_csv(self, capsys, tmp_path):
+        csv_path = str(tmp_path / "sweep.csv")
+        rc = main(["sweep", "-n", "8", "-M", "4", "--beta", "0.0",
+                   "--points", "2", "--cycles", "1500", "--warmup", "300",
+                   "--csv", csv_path])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "unicast_lat" in out
+        with open(csv_path) as fh:
+            assert "quarc" in fh.read()

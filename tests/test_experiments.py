@@ -1,0 +1,130 @@
+"""Tests for the experiment drivers, plotting and CSV plumbing."""
+
+import csv
+import io
+import math
+
+import pytest
+
+from repro.experiments.ascii_plot import ascii_curves
+from repro.experiments.csvout import format_table, rows_to_csv, write_csv
+from repro.experiments.figures import (curves_from_rows, latency_rows,
+                                       run_fig12, run_table1)
+from repro.experiments.latency import run_point
+from repro.experiments.sweep import compare_networks, default_rates, sweep_rates
+from repro.traffic.workload import WorkloadSpec
+
+
+class TestRunPoint:
+    def test_summary_is_populated(self):
+        spec = WorkloadSpec(kind="quarc", n=8, msg_len=4, beta=0.1,
+                            rate=0.02, cycles=2000, warmup=500, seed=1)
+        s = run_point(spec)
+        assert s.noc == "quarc"
+        assert s.unicast_samples > 0
+        assert s.bcast_samples > 0
+        assert s.unicast_mean > 3          # at least hops + M - 1
+        assert 0 < s.accepted_rate <= 0.02 * 1.5
+        assert s.extra["measured_cycles"] == 1500
+        assert not s.saturated
+
+    def test_zero_rate_point(self):
+        spec = WorkloadSpec(kind="quarc", n=8, msg_len=4, beta=0.0,
+                            rate=0.0, cycles=500, warmup=100, seed=1)
+        s = run_point(spec)
+        assert s.generated_msgs == 0
+        assert not s.saturated
+
+    def test_overload_flagged_saturated(self):
+        spec = WorkloadSpec(kind="spidergon", n=8, msg_len=16, beta=0.0,
+                            rate=0.5, cycles=2500, warmup=500, seed=1)
+        assert run_point(spec).saturated
+
+
+class TestSweep:
+    def test_default_rates_increasing_positive(self):
+        rates = default_rates(16, 16, 0.05)
+        assert all(r > 0 for r in rates)
+        assert rates == sorted(rates)
+
+    def test_sweep_stops_after_two_saturated(self):
+        spec = WorkloadSpec(kind="spidergon", n=8, msg_len=16, beta=0.0,
+                            rate=0.0, cycles=2500, warmup=500, seed=1)
+        out = sweep_rates(spec, [0.3, 0.4, 0.5, 0.6, 0.7])
+        assert len(out) == 2
+        assert all(s.saturated for s in out)
+
+    def test_compare_networks_common_seed(self):
+        res = compare_networks(8, 4, 0.0, rates=[0.01], cycles=1500,
+                               warmup=300, seed=9)
+        assert set(res) == {"quarc", "spidergon"}
+        q, s = res["quarc"][0], res["spidergon"][0]
+        assert q.generated_msgs == s.generated_msgs   # common random numbers
+
+
+class TestFigureHelpers:
+    def test_latency_rows_and_curves(self):
+        res = compare_networks(8, 4, 0.0, rates=[0.005, 0.01],
+                               cycles=1200, warmup=300, seed=2)
+        rows = latency_rows(res, "cfg")
+        assert len(rows) == 4
+        curves = curves_from_rows(rows, "unicast_lat")
+        assert set(curves) == {"quarc cfg", "spidergon cfg"}
+        assert len(curves["quarc cfg"]) == 2
+
+    def test_run_table1_rows(self):
+        rows = run_table1()
+        modules = {r["module"] for r in rows}
+        assert "input_buffers" in modules and "total" in modules
+
+    def test_run_fig12_rows(self):
+        rows = run_fig12([16, 32])
+        assert [r["width_bits"] for r in rows] == [16, 32]
+
+
+class TestAsciiPlot:
+    def test_renders_markers_and_legend(self):
+        out = ascii_curves({"quarc": [(0.01, 20), (0.02, 40)],
+                            "spid": [(0.01, 50), (0.02, 400)]},
+                           title="t")
+        assert "t" in out
+        assert "Q = quarc" in out
+        assert "S = spid" in out
+
+    def test_saturated_points_clip_to_top(self):
+        out = ascii_curves({"a": [(0.01, 10), (0.02, math.inf)]})
+        assert "^" in out
+
+    def test_empty_series(self):
+        assert "no finite data" in ascii_curves({"a": [(0.1, math.inf)]})
+
+    def test_single_point(self):
+        out = ascii_curves({"a": [(0.01, 100)]}, log_y=False)
+        assert "a" in out
+
+
+class TestCsvOut:
+    def test_rows_to_csv_roundtrip(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y", "c": 3.5}]
+        text = rows_to_csv(rows)
+        back = list(csv.DictReader(io.StringIO(text)))
+        assert back[0]["a"] == "1"
+        assert back[1]["c"] == "3.5"
+        assert back[0]["c"] == ""        # restval for missing keys
+
+    def test_empty_rows(self):
+        assert rows_to_csv([]) == ""
+
+    def test_write_csv(self, tmp_path):
+        path = write_csv([{"x": 1}], str(tmp_path / "sub" / "out.csv"))
+        with open(path) as fh:
+            assert fh.read().strip().splitlines() == ["x", "1"]
+
+    def test_format_table_alignment(self):
+        out = format_table([{"col": 1.23456, "name": "abc"}])
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert "1.235" in lines[2]
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(empty table)"

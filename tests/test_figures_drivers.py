@@ -1,0 +1,67 @@
+"""Smoke tests for the figure drivers on miniature grids.
+
+The benchmarks run the real (CI-sized) grids; these tests shrink the
+parameter space further so plain ``pytest tests/`` exercises the driver
+plumbing -- row schemas, config labels, the model overlay -- in seconds.
+"""
+
+import pytest
+
+import repro.experiments.figures as figures
+
+
+@pytest.fixture
+def tiny_grid(monkeypatch):
+    """3 rate points, very short runs."""
+    monkeypatch.setattr(figures, "_grid", lambda fast: (3, 1500, 400))
+
+
+class TestFig9Driver:
+    def test_rows_schema_and_configs(self, tiny_grid):
+        rows = figures.run_fig9(msg_lens=(4,))
+        assert rows
+        configs = {r["config"] for r in rows}
+        assert configs == {"M=4"}
+        nocs = {r["noc"] for r in rows}
+        assert nocs == {"quarc", "spidergon"}
+        for r in rows:
+            assert {"rate", "unicast_lat", "bcast_lat",
+                    "saturated"} <= set(r)
+
+
+class TestFig10Driver:
+    def test_model_overlay_present(self, tiny_grid):
+        rows = figures.run_fig10(sizes=(16,))
+        nocs = {r["noc"] for r in rows}
+        assert "quarc-model" in nocs
+        assert "spidergon-model" in nocs
+        sim = [r for r in rows if r["noc"] == "quarc"]
+        model = [r for r in rows if r["noc"] == "quarc-model"]
+        assert {r["rate"] for r in model} >= {r["rate"] for r in sim}
+
+
+class TestFig11Driver:
+    def test_beta_configs(self, tiny_grid):
+        rows = figures.run_fig11(betas=(0.0, 0.1), n=8)
+        assert {r["config"] for r in rows} == {"beta=0", "beta=0.1"}
+
+
+class TestModeSwitch:
+    def test_full_mode_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+        assert figures.is_full_mode()
+        points, cycles, warmup = figures._grid(None)
+        assert (points, cycles, warmup) == (8, 20_000, 5_000)
+        monkeypatch.setenv("REPRO_BENCH_FULL", "0")
+        assert not figures.is_full_mode()
+
+    def test_fast_param_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+        points, _, _ = figures._grid(True)
+        assert points == 5
+
+    def test_rates_positive_increasing(self):
+        rates = figures._rates_for(16, 16, 0.05, 5)
+        assert len(rates) == 5
+        assert all(r > 0 for r in rates)
+        assert rates == sorted(rates)

@@ -1,0 +1,114 @@
+"""Protocol-conformance tests for the LocalLink link-layer model."""
+
+import pytest
+
+from repro.link.locallink import (ASSERTED, Frame, LocalLinkDestination,
+                                  LocalLinkSource, LocalLinkWire, run_link)
+
+
+class TestFrameValidation:
+    def test_empty_frame_rejected(self):
+        with pytest.raises(ValueError):
+            Frame([])
+
+    def test_bad_channel_rejected(self):
+        with pytest.raises(ValueError):
+            Frame([1], channel=2)
+
+
+class TestSingleFrameTransfer:
+    def test_data_integrity(self):
+        dst, _ = run_link([Frame([10, 20, 30], 0)], cycles=20)
+        frame = dst.pop_frame(0)
+        assert frame is not None
+        assert frame.words == [10, 20, 30]
+
+    def test_channel_selection(self):
+        dst, _ = run_link([Frame([1], 0), Frame([2], 1)], cycles=30)
+        assert dst.pop_frame(0).words == [1]
+        assert dst.pop_frame(1).words == [2]
+
+    def test_pop_empty_returns_none(self):
+        dst, _ = run_link([], cycles=5)
+        assert dst.pop_frame(0) is None
+
+
+class TestFiveStepHandshake:
+    """The paper's five-step channelised transfer, in order (Sec. 2.7)."""
+
+    def test_signal_order(self):
+        _, wire = run_link([Frame([7, 8], 0)], cycles=20)
+        events = [(sig, t) for t, sig, val in wire.trace if val == ASSERTED]
+        order = {sig: t for sig, t in events}
+        # 1. CH_STATUS_N first, 2./3. ready handshake, 4. SOF, 5. EOF
+        assert order["ch_status_n[0]"] <= order["src_rdy_n"]
+        assert order["src_rdy_n"] <= order["dst_rdy_n"]
+        assert order["dst_rdy_n"] <= order["sof_n"]
+        assert order["sof_n"] <= order["eof_n"]
+
+    def test_sof_and_eof_same_beat_for_single_word(self):
+        _, wire = run_link([Frame([5], 1)], cycles=20)
+        sof_t = next(t for t, s, v in wire.trace if s == "sof_n")
+        eof_t = next(t for t, s, v in wire.trace if s == "eof_n")
+        assert sof_t == eof_t
+
+
+class TestBackPressure:
+    def test_status_deasserts_when_buffer_full(self):
+        frames = [Frame([i], 0) for i in range(5)]
+        dst, wire = run_link(frames, cycles=100, capacity_frames=2)
+        # only 2 frames fit; the rest stay queued at the source
+        assert dst.frames_received == 2
+        # status for channel 0 must have gone busy (deasserted = 1)
+        assert any(s == "ch_status_n[0]" and v == 1
+                   for _, s, v in wire.trace)
+
+    def test_draining_resumes_transfer(self):
+        frames = [Frame([i, i], 0) for i in range(6)]
+        dst, _ = run_link(frames, cycles=400, capacity_frames=2,
+                          drain_channel_every=8)
+        received_words = dst.frames_received
+        assert received_words == 6
+
+    def test_full_channel_does_not_block_other_channel(self):
+        frames = [Frame([1], 0), Frame([2], 0), Frame([3], 0),
+                  Frame([9], 1)]
+        dst, _ = run_link(frames, cycles=100, capacity_frames=2)
+        # channel 0 fills after two frames; channel 1's frame still lands
+        assert len(dst.buffers[1]) == 1
+
+
+class TestThroughput:
+    def test_back_to_back_frames_stream(self):
+        """With credit available, an F-word frame moves in ~F cycles."""
+        frames = [Frame(list(range(4)), ch % 2) for ch in range(4)]
+        dst, _ = run_link(frames, cycles=40, capacity_frames=4)
+        assert dst.frames_received == 4
+
+    def test_many_frames_all_arrive_in_order(self):
+        frames = [Frame([i, i + 1], 0) for i in range(10)]
+        dst, _ = run_link(frames, cycles=400, capacity_frames=16)
+        got = []
+        while True:
+            f = dst.pop_frame(0)
+            if f is None:
+                break
+            got.append(f.words[0])
+        assert got == list(range(10))
+
+
+class TestSourceState:
+    def test_idle_after_queue_drains(self):
+        wire = LocalLinkWire()
+        src = LocalLinkSource(wire)
+        dst = LocalLinkDestination(wire)
+        src.submit(Frame([1, 2], 0))
+        for now in range(20):
+            dst.update_status(now)
+            src.drive(now)
+            dst.update_status(now)
+            dst.sample(now)
+            src.advance(now)
+        assert src.idle
+        assert src.frames_sent == 1
+        assert wire.src_rdy_n != ASSERTED

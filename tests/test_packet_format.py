@@ -1,0 +1,147 @@
+"""Tests for the bit-exact flit codec (paper Fig. 7)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.packet_format import (FLIT_BODY, FLIT_HEADER, FLIT_SINGLE,
+                                      FLIT_TAIL, TT_EXT, FlitCodec)
+from repro.noc.packet import BROADCAST, MULTICAST, UNICAST, Packet
+
+
+class TestFlitTypes:
+    def test_type_bits_are_low_two(self):
+        codec = FlitCodec(32)
+        assert codec.flit_type(codec.encode_body(0xDEAD)) == FLIT_BODY
+        assert codec.flit_type(codec.encode_tail(0xBEEF)) == FLIT_TAIL
+        hdr = codec.encode_header(3, 4, 8, UNICAST)[0]
+        assert codec.flit_type(hdr) == FLIT_HEADER
+
+    def test_single_flit_packet_is_head_and_tail(self):
+        codec = FlitCodec(32)
+        hdr = codec.encode_header(3, 4, 1, UNICAST)[0]
+        assert codec.flit_type(hdr) == FLIT_SINGLE
+
+    def test_34_bit_wire_width(self):
+        """The paper's 32-bit switch carries 34-bit flits."""
+        codec = FlitCodec(32)
+        assert codec.flit_bits == 34
+        for word in codec.encode_packet(Packet(1, 2, 4)):
+            assert 0 <= word < (1 << 34)
+
+
+class TestHeaderFields:
+    def test_traffic_type_in_top_three_bits(self):
+        codec = FlitCodec(32)
+        hdr = codec.encode_header(0, 0, 2, BROADCAST)[0]
+        assert (hdr >> 31) & 0b111 == BROADCAST
+
+    def test_header_roundtrip(self):
+        codec = FlitCodec(32)
+        hdr = codec.decode_flit(
+            codec.encode_header(dst=42, src=17, length=32,
+                                traffic=BROADCAST)[0]).header
+        assert (hdr.dst, hdr.src, hdr.length, hdr.traffic) == (
+            42, 17, 32, BROADCAST)
+
+    def test_field_overflow_rejected(self):
+        codec = FlitCodec(32)
+        with pytest.raises(ValueError):
+            codec.encode_header(64, 0, 4, UNICAST)     # 6-bit address
+        with pytest.raises(ValueError):
+            codec.encode_header(0, 0, 256, UNICAST)    # 8-bit length
+        with pytest.raises(ValueError):
+            codec.encode_header(0, 0, 4, 8)            # 3-bit traffic
+
+    def test_minimum_width_enforced(self):
+        with pytest.raises(ValueError):
+            FlitCodec(16)
+
+
+class TestPacketRoundTrip:
+    @given(dst=st.integers(0, 63), src=st.integers(0, 63),
+           length=st.integers(1, 255),
+           traffic=st.sampled_from([UNICAST, BROADCAST, MULTICAST]),
+           width=st.sampled_from([24, 32, 64]))
+    def test_roundtrip_any_packet(self, dst, src, length, traffic, width):
+        codec = FlitCodec(width)
+        pkt = Packet(src, dst, length, traffic)
+        flits = codec.encode_packet(pkt)
+        hdr, payloads = codec.decode_packet(flits)
+        assert (hdr.dst, hdr.src, hdr.length, hdr.traffic) == (
+            dst, src, length, traffic)
+        assert len(payloads) == length - 1
+
+    @given(payloads=st.lists(st.integers(0, 2**32 - 1),
+                             min_size=1, max_size=20))
+    def test_payload_preserved(self, payloads):
+        codec = FlitCodec(32)
+        pkt = Packet(1, 2, len(payloads) + 1, UNICAST)
+        flits = codec.encode_packet(pkt, payloads)
+        _, decoded = codec.decode_packet(flits)
+        assert decoded == payloads
+
+    def test_payload_count_mismatch_rejected(self):
+        codec = FlitCodec(32)
+        with pytest.raises(ValueError):
+            codec.encode_packet(Packet(1, 2, 4), payloads=[1, 2])
+
+
+class TestMulticastBitstrings:
+    @given(bits=st.integers(0, 2**17 - 1), width=st.sampled_from([24, 32]))
+    def test_bitstring_roundtrip_with_extensions(self, bits, width):
+        """Bitstrings beyond the reserved field spill into multi-flit
+        headers (the paper's large-network option) and still round-trip."""
+        codec = FlitCodec(width)
+        pkt = Packet(0, 5, 3, MULTICAST, bitstring=bits)
+        flits = codec.encode_packet(pkt)
+        hdr, payloads = codec.decode_packet(flits)
+        assert hdr.bitstring == bits
+        assert len(payloads) == 2
+
+    def test_small_bitstring_needs_no_extension(self):
+        codec = FlitCodec(32)
+        flits = codec.encode_header(5, 0, 4, MULTICAST, bitstring=0b1010)
+        assert len(flits) == 1
+
+    def test_large_bitstring_adds_extension_flits(self):
+        codec = FlitCodec(32)
+        # reserved field holds flit_bits-3-22 = 9 bits at width 32
+        flits = codec.encode_header(5, 0, 4, MULTICAST,
+                                    bitstring=1 << 12)
+        assert len(flits) == 2
+        ext = codec.decode_flit(flits[1])
+        assert ext.header.traffic == TT_EXT
+
+
+class TestFramingValidation:
+    def test_missing_header_rejected(self):
+        codec = FlitCodec(32)
+        with pytest.raises(ValueError):
+            codec.decode_packet([codec.encode_body(1),
+                                 codec.encode_tail(2)])
+
+    def test_missing_tail_rejected(self):
+        codec = FlitCodec(32)
+        flits = codec.encode_packet(Packet(1, 2, 3))
+        with pytest.raises(ValueError):
+            codec.decode_packet(flits[:-1] + [codec.encode_body(0)])
+
+    def test_length_mismatch_rejected(self):
+        codec = FlitCodec(32)
+        flits = codec.encode_packet(Packet(1, 2, 4))
+        with pytest.raises(ValueError):
+            codec.decode_packet(flits[:1] + flits[2:])   # dropped a body
+
+    def test_oversized_word_rejected(self):
+        codec = FlitCodec(32)
+        with pytest.raises(ValueError):
+            codec.decode_flit(1 << 40)
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            FlitCodec(32).decode_packet([])
+
+    def test_traffic_name(self):
+        assert FlitCodec.traffic_name(UNICAST) == "unicast"
+        assert FlitCodec.traffic_name(TT_EXT) == "header-ext"
+        assert "reserved" in FlitCodec.traffic_name(5)

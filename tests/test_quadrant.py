@@ -1,0 +1,60 @@
+"""Tests for the hardware-model quadrant calculator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.quadrant import QuadrantCalculator
+from repro.topologies.quarc import QuarcTopology
+
+SIZES = [8, 16, 32, 64]
+
+
+class TestAgainstTopologyOracle:
+    """The hardware block and the topology math must agree everywhere."""
+
+    @given(st.sampled_from(SIZES), st.data())
+    def test_quadrant_matches_topology(self, n, data):
+        topo = QuarcTopology(n)
+        node = data.draw(st.integers(0, n - 1))
+        dst = data.draw(st.integers(0, n - 1).filter(lambda x: x != node))
+        calc = QuadrantCalculator(node, n)
+        assert calc.quadrant(dst) == topo.quadrant(node, dst)
+
+    @given(st.sampled_from(SIZES), st.data())
+    def test_hop_distance_matches_topology(self, n, data):
+        topo = QuarcTopology(n)
+        node = data.draw(st.integers(0, n - 1))
+        dst = data.draw(st.integers(0, n - 1).filter(lambda x: x != node))
+        calc = QuadrantCalculator(node, n)
+        assert calc.hop_distance(dst) == topo.hops(node, dst)
+
+    def test_classify_consistent(self):
+        calc = QuadrantCalculator(3, 16)
+        for dst in range(16):
+            if dst == 3:
+                continue
+            quad, hops = calc.classify(dst)
+            assert quad == calc.quadrant(dst)
+            assert hops == calc.hop_distance(dst)
+
+
+class TestValidation:
+    def test_rejects_bad_network_size(self):
+        with pytest.raises(ValueError):
+            QuadrantCalculator(0, 10)
+
+    def test_rejects_out_of_range_node(self):
+        with pytest.raises(ValueError):
+            QuadrantCalculator(16, 16)
+
+    def test_rejects_local_address(self):
+        calc = QuadrantCalculator(5, 16)
+        with pytest.raises(ValueError):
+            calc.quadrant(5)
+
+    def test_rejects_out_of_range_destination(self):
+        calc = QuadrantCalculator(5, 16)
+        with pytest.raises(ValueError):
+            calc.quadrant(16)
+        with pytest.raises(ValueError):
+            calc.quadrant(-1)

@@ -1,0 +1,163 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.engine import Simulator, SimulationError
+
+
+class TestScheduling:
+    def test_schedule_runs_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5, lambda: log.append("b"))
+        sim.schedule(2, lambda: log.append("a"))
+        sim.schedule(9, lambda: log.append("c"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 9
+
+    def test_simultaneous_events_fifo_within_priority(self):
+        sim = Simulator()
+        log = []
+        for tag in "xyz":
+            sim.schedule(3, lambda t=tag: log.append(t))
+        sim.run()
+        assert log == ["x", "y", "z"]
+
+    def test_priority_breaks_ties(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1, lambda: log.append("low"), priority=10)
+        sim.schedule(1, lambda: log.append("high"), priority=0)
+        sim.run()
+        assert log == ["high", "low"]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator(start_time=100)
+        hits = []
+        sim.schedule_at(150, lambda: hits.append(sim.now))
+        sim.run()
+        assert hits == [150]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_into_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(("first", sim.now))
+            sim.schedule(3, lambda: log.append(("second", sim.now)))
+
+        sim.schedule(2, first)
+        sim.run()
+        assert log == [("first", 2), ("second", 5)]
+
+
+class TestRecurring:
+    def test_every_fires_periodically(self):
+        sim = Simulator()
+        hits = []
+        sim.every(2, lambda: hits.append(sim.now))
+        sim.run_until(10)
+        assert hits == [2, 4, 6, 8, 10]
+
+    def test_every_with_explicit_start(self):
+        sim = Simulator()
+        hits = []
+        sim.every(5, lambda: hits.append(sim.now), start=1)
+        sim.run_until(12)
+        assert hits == [1, 6, 11]
+
+    def test_cancel_stops_recurrence(self):
+        sim = Simulator()
+        hits = []
+        ev = sim.every(1, lambda: hits.append(sim.now))
+        sim.run_until(3)
+        ev.cancel()
+        sim.run_until(10)
+        assert hits == [1, 2, 3]
+
+    def test_self_cancel_inside_callback(self):
+        sim = Simulator()
+        hits = []
+        ev = sim.every(1, lambda: (hits.append(sim.now),
+                                   ev.cancel() if sim.now >= 2 else None))
+        sim.run_until(10)
+        assert hits == [1, 2]
+
+    def test_zero_period_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.every(0, lambda: None)
+
+
+class TestExecutionControl:
+    def test_run_until_leaves_future_events_pending(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(3, lambda: hits.append(3))
+        sim.schedule(8, lambda: hits.append(8))
+        sim.run_until(5)
+        assert hits == [3]
+        assert sim.now == 5
+        sim.run_until(10)
+        assert hits == [3, 8]
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run_until(42)
+        assert sim.now == 42
+
+    def test_stop_inside_event(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(1, lambda: (hits.append(1), sim.stop()))
+        sim.schedule(2, lambda: hits.append(2))
+        sim.run()
+        assert hits == [1]
+        sim.run()
+        assert hits == [1, 2]
+
+    def test_max_events_cap(self):
+        sim = Simulator()
+        hits = []
+        for i in range(10):
+            sim.schedule(i + 1, lambda i=i: hits.append(i))
+        sim.run(max_events=4)
+        assert hits == [0, 1, 2, 3]
+
+    def test_step_returns_false_when_empty(self):
+        sim = Simulator()
+        assert sim.step() is False
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        ev = sim.schedule(1, lambda: None)
+        sim.schedule(7, lambda: None)
+        ev.cancel()
+        assert sim.peek() == 7
+
+    def test_pending_counts_live_events(self):
+        sim = Simulator()
+        evs = [sim.schedule(i + 1, lambda: None) for i in range(5)]
+        evs[0].cancel()
+        evs[3].cancel()
+        assert sim.pending == 3
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for i in range(6):
+            sim.schedule(i + 1, lambda: None)
+        sim.run()
+        assert sim.events_executed == 6

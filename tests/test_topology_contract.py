@@ -1,0 +1,119 @@
+"""Contract tests every Topology implementation must satisfy.
+
+One parametrised suite over all five topologies: structural sanity,
+route validity, distance laws and the networkx shortest-path oracle.
+Anything that joins the library later (the paper hints at further
+comparisons) gets this contract for free.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.topologies import (MeshTopology, QuarcTopology, RingTopology,
+                              SpidergonTopology, TorusTopology)
+
+TOPOLOGIES = [
+    pytest.param(lambda: RingTopology(10), id="ring10"),
+    pytest.param(lambda: RingTopology(9), id="ring9"),
+    pytest.param(lambda: SpidergonTopology(12), id="spidergon12"),
+    pytest.param(lambda: QuarcTopology(12), id="quarc12"),
+    pytest.param(lambda: QuarcTopology(16), id="quarc16"),
+    pytest.param(lambda: MeshTopology(12, cols=4), id="mesh3x4"),
+    pytest.param(lambda: TorusTopology(12, cols=4), id="torus3x4"),
+]
+
+
+@pytest.fixture(params=TOPOLOGIES)
+def topo(request):
+    return request.param()
+
+
+class TestTopologyContract:
+    def test_channels_reference_valid_nodes(self, topo):
+        for ch in topo.channels():
+            assert 0 <= ch.src < topo.n
+            assert 0 <= ch.dst < topo.n
+            assert ch.src != ch.dst
+            assert ch.kind
+
+    def test_no_duplicate_channels_except_quarc_spokes(self, topo):
+        seen = {}
+        for ch in topo.channels():
+            key = (ch.src, ch.dst, ch.kind)
+            assert key not in seen, f"duplicate channel {key}"
+            seen[key] = ch
+
+    def test_graph_strongly_connected(self, topo):
+        assert nx.is_strongly_connected(topo.to_networkx())
+
+    def test_every_pair_routes(self, topo):
+        for s in range(topo.n):
+            for d in range(topo.n):
+                if s == d:
+                    continue
+                p = topo.path(s, d)
+                assert p[0] == s and p[-1] == d
+                assert len(p) == len(set(p)), f"route revisits a node: {p}"
+
+    def test_hops_consistent_with_path(self, topo):
+        for s in range(topo.n):
+            for d in range(topo.n):
+                if s != d:
+                    assert topo.hops(s, d) == len(topo.path(s, d)) - 1
+
+    def test_routes_are_shortest_paths(self, topo):
+        dist = dict(nx.all_pairs_shortest_path_length(topo.to_networkx()))
+        for s in range(topo.n):
+            for d in range(topo.n):
+                if s != d:
+                    assert topo.hops(s, d) == dist[s][d], (s, d)
+
+    def test_diameter_consistent(self, topo):
+        dist = dict(nx.all_pairs_shortest_path_length(topo.to_networkx()))
+        oracle = max(dist[s][d] for s in range(topo.n)
+                     for d in range(topo.n))
+        assert topo.diameter() == oracle
+
+    def test_average_hops_bounds(self, topo):
+        avg = topo.average_hops()
+        assert 1.0 <= avg <= topo.diameter()
+
+    def test_self_route_rejected(self, topo):
+        with pytest.raises(ValueError):
+            topo.path(0, 0)
+
+    def test_out_of_range_rejected(self, topo):
+        with pytest.raises(ValueError):
+            topo.path(0, topo.n)
+
+    def test_channel_loads_account_for_all_hops(self, topo):
+        loads = topo.channel_loads()
+        assert sum(loads.values()) == pytest.approx(topo.average_hops(),
+                                                    rel=1e-9)
+        assert all(v >= 0 for v in loads.values())
+
+
+class TestCrossTopologyClaims:
+    """Relationships between the architectures the paper leans on."""
+
+    @pytest.mark.parametrize("n", [16, 32, 64])
+    def test_quarc_diameter_at_most_spidergon(self, n):
+        assert (QuarcTopology(n).diameter()
+                <= SpidergonTopology(n).diameter())
+
+    def test_quarc_scalability_remark(self):
+        """Sec. 2.6: up to 64 nodes the Quarc diameter (~N/4) stays below
+        the mesh's 2(sqrt(N)-1); past that the mesh wins -- the paper's
+        stated reason for the 64-node limit."""
+        import math
+        for n in (16, 36, 64):
+            quarc_diam = n // 4              # the paper's "max diameter"
+            mesh_diam = 2 * (int(math.isqrt(n)) - 1)
+            assert quarc_diam <= mesh_diam + 2
+        assert 144 // 4 > 2 * (12 - 1)     # N=144: mesh now better
+
+    @pytest.mark.parametrize("n", [16, 32])
+    def test_ring_dominated_by_both(self, n):
+        ring = RingTopology(n).average_hops()
+        assert QuarcTopology(n).average_hops() < ring
+        assert SpidergonTopology(n).average_hops() < ring

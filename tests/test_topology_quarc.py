@@ -1,0 +1,173 @@
+"""Tests for the Quarc topology: quadrants, routes, broadcast branches."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topologies.quarc import (LEFT, RIGHT, XLEFT, XRIGHT,
+                                    QuarcTopology)
+
+SIZES = [8, 12, 16, 32, 64]
+
+
+def pairs(n):
+    return [(s, d) for s in range(n) for d in range(n) if s != d]
+
+
+class TestStructure:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_channel_count(self, n):
+        # 2 rim + 2 cross unidirectional channels per node
+        assert len(QuarcTopology(n).channels()) == 4 * n
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_node_degree_homogeneous(self, n):
+        topo = QuarcTopology(n)
+        assert {topo.node_degree(i) for i in range(n)} == {4}
+
+    def test_doubled_spoke(self):
+        topo = QuarcTopology(16)
+        spokes = [c for c in topo.channels()
+                  if c.src == 3 and c.dst == 11]
+        assert sorted(ch.kind for ch in spokes) == ["cross_l", "cross_r"]
+
+    def test_rejects_bad_sizes(self):
+        for bad in (6, 10, 15, 4):
+            with pytest.raises(ValueError):
+                QuarcTopology(bad)
+
+
+class TestQuadrants:
+    def test_paper_partition_n16(self):
+        topo = QuarcTopology(16)
+        got = {d: topo.quadrant(0, d) for d in range(1, 16)}
+        assert [got[d] for d in (1, 2, 3, 4)] == [RIGHT] * 4
+        assert [got[d] for d in (5, 6, 7, 8)] == [XLEFT] * 4
+        assert [got[d] for d in (9, 10, 11)] == [XRIGHT] * 3
+        assert [got[d] for d in (12, 13, 14, 15)] == [LEFT] * 4
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_quadrant_sizes(self, n):
+        topo = QuarcTopology(n)
+        q = n // 4
+        from collections import Counter
+        counts = Counter(topo.quadrant(0, d) for d in range(1, n))
+        assert counts[RIGHT] == q
+        assert counts[LEFT] == q
+        assert counts[XLEFT] == q
+        assert counts[XRIGHT] == q - 1
+
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_vertex_symmetry(self, n):
+        """quadrant(s, d) depends only on (d - s) mod N."""
+        topo = QuarcTopology(n)
+        for k in range(1, n):
+            quads = {topo.quadrant(s, (s + k) % n) for s in range(n)}
+            assert len(quads) == 1
+
+    def test_errors(self):
+        topo = QuarcTopology(16)
+        with pytest.raises(ValueError):
+            topo.quadrant(3, 3)
+        with pytest.raises(ValueError):
+            topo.quadrant(0, 16)
+
+
+class TestRouting:
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_paths_are_shortest(self, n):
+        """The deterministic route length equals the graph shortest path."""
+        topo = QuarcTopology(n)
+        g = topo.to_networkx()
+        dist = dict(nx.all_pairs_shortest_path_length(g))
+        for s, d in pairs(n):
+            assert topo.hops(s, d) == dist[s][d], (s, d)
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_hops_matches_path(self, n):
+        topo = QuarcTopology(n)
+        for s, d in pairs(n):
+            p = topo.path(s, d)
+            assert p[0] == s and p[-1] == d
+            assert topo.hops(s, d) == len(p) - 1
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_paths_use_real_channels(self, n):
+        topo = QuarcTopology(n)
+        edges = {(c.src, c.dst) for c in topo.channels()}
+        for s, d in pairs(n):
+            p = topo.path(s, d)
+            for a, b in zip(p, p[1:]):
+                assert (a, b) in edges
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_diameter_is_q_plus_one_at_most(self, n):
+        # max route: cross + (q-1) rim = q hops; rim quadrant = q hops
+        assert QuarcTopology(n).diameter() <= n // 4 + 1
+
+    @given(st.sampled_from(SIZES), st.data())
+    def test_cross_routes_transit_antipode(self, n, data):
+        topo = QuarcTopology(n)
+        s = data.draw(st.integers(0, n - 1))
+        d = data.draw(st.integers(0, n - 1).filter(lambda x: x != s))
+        quad = topo.quadrant(s, d)
+        p = topo.path(s, d)
+        if quad in (XLEFT, XRIGHT):
+            assert p[1] == topo.antipode(s)
+        else:
+            assert abs((p[1] - s) % n) in (1, n - 1)
+
+
+class TestBroadcast:
+    def test_paper_example_destinations(self):
+        """Fig. 6: node 0 of a 16-node Quarc targets 4, 12, 5, 11."""
+        dests = QuarcTopology(16).broadcast_dests(0)
+        assert dests == {RIGHT: 4, LEFT: 12, XLEFT: 5, XRIGHT: 11}
+
+    @pytest.mark.parametrize("n", SIZES)
+    @pytest.mark.parametrize("src", [0, 1, 5])
+    def test_coverage_partitions_other_nodes(self, n, src):
+        src %= n
+        cov = QuarcTopology(n).broadcast_coverage(src)
+        seen = [node for branch in cov.values() for node in branch]
+        assert len(seen) == len(set(seen)) == n - 1
+        assert src not in seen
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_antipode_covered_by_xleft_only(self, n):
+        topo = QuarcTopology(n)
+        cov = topo.broadcast_coverage(0)
+        anti = topo.antipode(0)
+        assert anti in cov[XLEFT]
+        assert anti not in cov[XRIGHT]
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_branch_hops_bounded_by_q(self, n):
+        hops = QuarcTopology(n).broadcast_branch_hops(0)
+        assert max(hops.values()) == n // 4
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_branch_dst_is_last_covered_node(self, n):
+        topo = QuarcTopology(n)
+        dests = topo.broadcast_dests(3)
+        cov = topo.broadcast_coverage(3)
+        for quad, dst in dests.items():
+            if dst is None:
+                assert not cov[quad]
+            else:
+                assert cov[quad][-1] == dst
+
+
+class TestLoads:
+    def test_edge_symmetric_rim_loads(self):
+        """Every CW rim link carries identical uniform-traffic load."""
+        topo = QuarcTopology(16)
+        loads = topo.channel_loads()
+        cw = [v for (a, b), v in loads.items() if b == (a + 1) % 16]
+        assert max(cw) - min(cw) < 1e-12
+
+    def test_average_hops_below_spidergon(self):
+        from repro.topologies.spidergon import SpidergonTopology
+        for n in (16, 32, 64):
+            assert (QuarcTopology(n).average_hops()
+                    <= SpidergonTopology(n).average_hops() + 1e-9)

@@ -1,0 +1,116 @@
+"""Tests for ring helpers and the mesh/torus future-work topologies."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topologies.mesh import MeshTopology
+from repro.topologies.ring import (RingTopology, ccw_dist, cw_dist,
+                                   is_ccw_dateline, is_cw_dateline,
+                                   ring_dist)
+from repro.topologies.torus import TorusTopology
+
+
+class TestRingDistances:
+    @given(st.integers(2, 128), st.data())
+    def test_cw_plus_ccw_is_n(self, n, data):
+        s = data.draw(st.integers(0, n - 1))
+        d = data.draw(st.integers(0, n - 1).filter(lambda x: x != s))
+        assert cw_dist(s, d, n) + ccw_dist(s, d, n) == n
+
+    @given(st.integers(2, 128), st.data())
+    def test_ring_dist_symmetric(self, n, data):
+        s = data.draw(st.integers(0, n - 1))
+        d = data.draw(st.integers(0, n - 1))
+        assert ring_dist(s, d, n) == ring_dist(d, s, n)
+
+    def test_datelines(self):
+        assert is_cw_dateline(15, 0, 16)
+        assert not is_cw_dateline(3, 4, 16)
+        assert is_ccw_dateline(0, 15, 16)
+        assert not is_ccw_dateline(4, 3, 16)
+
+    def test_ring_paths_shortest(self):
+        topo = RingTopology(9)
+        g = topo.to_networkx()
+        dist = dict(nx.all_pairs_shortest_path_length(g))
+        for s in range(9):
+            for d in range(9):
+                if s != d:
+                    assert topo.hops(s, d) == dist[s][d]
+
+
+class TestMesh:
+    def test_coords_roundtrip(self):
+        topo = MeshTopology(16)
+        for node in range(16):
+            r, c = topo.coords(node)
+            assert topo.node_at(r, c) == node
+
+    def test_xy_path_goes_x_first(self):
+        topo = MeshTopology(16)   # 4x4
+        p = topo.path(0, 15)      # (0,0) -> (3,3)
+        # X leg first: 0 -> 1 -> 2 -> 3, then Y: 7, 11, 15
+        assert p == [0, 1, 2, 3, 7, 11, 15]
+
+    def test_paths_shortest(self):
+        topo = MeshTopology(16)
+        g = topo.to_networkx()
+        dist = dict(nx.all_pairs_shortest_path_length(g))
+        for s in range(16):
+            for d in range(16):
+                if s != d:
+                    assert topo.hops(s, d) == dist[s][d]
+                    assert len(topo.path(s, d)) - 1 == dist[s][d]
+
+    def test_non_square(self):
+        topo = MeshTopology(8, cols=4)    # 2x4
+        assert topo.rows == 2
+        assert topo.hops(0, 7) == 4
+
+    def test_bad_factorisation(self):
+        with pytest.raises(ValueError):
+            MeshTopology(10, cols=4)
+
+    def test_edge_degree_varies(self):
+        topo = MeshTopology(16)
+        degs = {topo.node_degree(i) for i in range(16)}
+        assert degs == {2, 3, 4}   # corners, edges, interior
+
+
+class TestTorus:
+    def test_wraparound_channels_exist(self):
+        topo = TorusTopology(16)
+        edges = {(c.src, c.dst) for c in topo.channels()}
+        assert (3, 0) in edges     # east wrap on row 0
+        assert (12, 0) in edges    # south wrap on column 0
+
+    def test_paths_shortest(self):
+        topo = TorusTopology(16)
+        g = topo.to_networkx()
+        dist = dict(nx.all_pairs_shortest_path_length(g))
+        for s in range(16):
+            for d in range(16):
+                if s != d:
+                    assert topo.hops(s, d) == dist[s][d]
+                    assert len(topo.path(s, d)) - 1 == dist[s][d]
+
+    def test_degree_homogeneous(self):
+        topo = TorusTopology(16)
+        assert {topo.node_degree(i) for i in range(16)} == {4}
+
+    def test_diameter_below_mesh(self):
+        assert TorusTopology(16).diameter() < MeshTopology(16).diameter()
+
+    def test_ring_steps_tie_breaks_positive(self):
+        assert TorusTopology._ring_steps(0, 2, 4) == 2   # tie -> +
+
+
+class TestChannelLoads:
+    def test_loads_sum_to_average_hops(self):
+        """Sum of per-channel loads equals the network's average hops."""
+        for topo in (MeshTopology(9, cols=3), TorusTopology(9, cols=3),
+                     RingTopology(8)):
+            loads = topo.channel_loads()
+            assert sum(loads.values()) == pytest.approx(
+                topo.average_hops(), rel=1e-9)

@@ -1,0 +1,124 @@
+"""Tests for the Spidergon topology and across-first routing."""
+
+import networkx as nx
+import pytest
+
+from repro.topologies.spidergon import ACROSS, CCW, CW, SpidergonTopology
+
+SIZES = [4, 6, 8, 16, 30, 32, 64]
+
+
+class TestStructure:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_channel_count(self, n):
+        # 2 rim + 1 cross unidirectional channels per node
+        assert len(SpidergonTopology(n).channels()) == 3 * n
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_degree_homogeneous(self, n):
+        topo = SpidergonTopology(n)
+        assert {topo.node_degree(i) for i in range(n)} == {3}
+
+    def test_single_spoke_vs_quarc_double(self):
+        topo = SpidergonTopology(16)
+        spokes = [c for c in topo.channels() if c.src == 2 and c.dst == 10]
+        assert len(spokes) == 1
+
+    def test_rejects_odd_and_tiny(self):
+        with pytest.raises(ValueError):
+            SpidergonTopology(7)
+        with pytest.raises(ValueError):
+            SpidergonTopology(2)
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_antipode_involution(self, n):
+        topo = SpidergonTopology(n)
+        for i in range(n):
+            assert topo.antipode(topo.antipode(i)) == i
+
+
+class TestRouting:
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_paths_are_shortest(self, n):
+        topo = SpidergonTopology(n)
+        g = topo.to_networkx()
+        dist = dict(nx.all_pairs_shortest_path_length(g))
+        for s in range(n):
+            for d in range(n):
+                if s != d:
+                    assert topo.hops(s, d) == dist[s][d], (s, d)
+
+    def test_across_first_rule(self):
+        topo = SpidergonTopology(16)
+        assert topo.first_port(0, 4) == CW        # dist 4 == N/4: rim
+        assert topo.first_port(0, 12) == CCW
+        assert topo.first_port(0, 5) == ACROSS    # dist 5 > N/4
+        assert topo.first_port(0, 8) == ACROSS
+        assert topo.first_port(0, 11) == ACROSS
+
+    def test_cross_is_first_hop_only(self):
+        """The spoke never appears after a rim hop (deadlock argument)."""
+        topo = SpidergonTopology(32)
+        for s in range(32):
+            for d in range(32):
+                if s == d:
+                    continue
+                p = topo.path(s, d)
+                for i, (a, b) in enumerate(zip(p, p[1:])):
+                    if (b - a) % 32 == 16:
+                        assert i == 0, f"cross mid-route in {p}"
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_paths_use_real_channels(self, n):
+        topo = SpidergonTopology(n)
+        edges = {(c.src, c.dst) for c in topo.channels()}
+        for s in range(n):
+            for d in range(n):
+                if s != d:
+                    p = topo.path(s, d)
+                    for a, b in zip(p, p[1:]):
+                        assert (a, b) in edges
+
+    @pytest.mark.parametrize("n", [8, 16, 32, 64])
+    def test_diameter(self, n):
+        # across + at most N/4 rim hops
+        assert SpidergonTopology(n).diameter() <= n // 4 + 1
+
+
+class TestBroadcastChains:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_total_hops_is_n_minus_1(self, n):
+        """The paper: the most efficient broadcast traverses N-1 hops."""
+        topo = SpidergonTopology(n)
+        for src in (0, 1, n // 2):
+            assert topo.broadcast_total_hops(src) == n - 1
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_chains_cover_all_other_nodes(self, n):
+        topo = SpidergonTopology(n)
+        chains = topo.broadcast_chains(3 % n)
+        visited = [node for _, chain in chains for node in chain]
+        assert sorted(visited) == sorted(set(range(n)) - {3 % n})
+
+    def test_chains_are_neighbour_relays(self):
+        topo = SpidergonTopology(16)
+        for direction, chain in topo.broadcast_chains(5):
+            step = 1 if direction == CW else -1
+            prev = 5
+            for node in chain:
+                assert node == (prev + step) % 16
+                prev = node
+
+
+class TestLoadImbalance:
+    def test_spoke_carries_double_quarc_per_channel_load(self):
+        """Edge asymmetry: Spidergon's one spoke does the work of Quarc's
+        two."""
+        from repro.analysis.loads import uniform_link_loads
+        s = uniform_link_loads("spidergon", 16)
+        q = uniform_link_loads("quarc", 16)
+        # per *channel* cross load: spidergon has N spokes, quarc 2N
+        spid_per_channel = s["cross"] / 16
+        quarc_per_channel = q["cross"] / 32
+        assert spid_per_channel == pytest.approx(2 * quarc_per_channel,
+                                                 rel=0.15)

@@ -1,0 +1,142 @@
+"""End-to-end unicast tests: delivery, exact zero-load latency, ordering.
+
+The key invariant: in an otherwise empty network a wormhole unicast's
+latency is exactly ``hops + (M - 1)`` cycles -- one cycle per hop for the
+header plus serialisation of the remaining flits -- for *every*
+source/destination pair on *every* topology.  This pins the simulator's
+timing semantics and the deterministic routes simultaneously.
+"""
+
+import pytest
+
+from repro.core.api import build_network
+from repro.core.collector import LatencyCollector
+from repro.noc.packet import Packet, UNICAST
+from repro.topologies import (MeshTopology, QuarcTopology,
+                              SpidergonTopology, TorusTopology)
+
+from conftest import drain, send_one
+
+
+def zero_load_latency(kind, n, src, dst, size):
+    coll = LatencyCollector()
+    net, _ = build_network(kind, n, collector=coll)
+    send_one(net, src, dst, size)
+    drain(net)
+    assert coll.delivered_unicast == 1
+    return coll.unicast.overall.mean
+
+
+class TestExactLatencyLaw:
+    @pytest.mark.parametrize("kind,topo_cls", [
+        ("quarc", QuarcTopology), ("spidergon", SpidergonTopology)])
+    @pytest.mark.parametrize("n", [8, 16])
+    @pytest.mark.parametrize("size", [1, 4, 16])
+    def test_all_pairs_from_node0(self, kind, topo_cls, n, size):
+        topo = topo_cls(n)
+        for dst in range(1, n):
+            lat = zero_load_latency(kind, n, 0, dst, size)
+            assert lat == topo.hops(0, dst) + size - 1, (dst, size)
+
+    @pytest.mark.parametrize("kind,topo_cls", [
+        ("quarc", QuarcTopology), ("spidergon", SpidergonTopology)])
+    def test_vertex_symmetry_of_latency(self, kind, topo_cls):
+        """Latency must depend only on (dst - src) mod N."""
+        n, size = 16, 8
+        topo = topo_cls(n)
+        for k in (1, 5, 8, 13):
+            lats = {zero_load_latency(kind, n, s, (s + k) % n, size)
+                    for s in (0, 3, 15)}
+            assert len(lats) == 1
+            assert lats.pop() == topo.hops(0, k) + size - 1
+
+    @pytest.mark.parametrize("kind,topo_cls,kwargs", [
+        ("mesh", MeshTopology, {}), ("torus", TorusTopology, {})])
+    def test_mesh_torus_all_pairs(self, kind, topo_cls, kwargs):
+        n, size = 16, 4
+        topo = topo_cls(n, **kwargs)
+        for dst in (1, 3, 5, 10, 12, 15):
+            lat = zero_load_latency(kind, n, 0, dst, size)
+            assert lat == topo.hops(0, dst) + size - 1, dst
+
+
+class TestDeliverySemantics:
+    def test_delivered_exactly_once(self, quarc16):
+        net, coll = quarc16
+        send_one(net, 2, 9, 8)
+        drain(net)
+        assert coll.delivered_unicast == 1
+        # extra cycles must not re-deliver
+        for _ in range(50):
+            net.step()
+        assert coll.delivered_unicast == 1
+
+    def test_network_empties_after_delivery(self, spidergon16):
+        net, _ = spidergon16
+        send_one(net, 0, 11, 16)
+        cycles = drain(net)
+        assert net.total_flits() == 0
+        assert cycles < 100
+
+    def test_two_messages_same_pair_fifo(self, quarc16):
+        """Same source, same quadrant: wormhole order is preserved."""
+        net, coll = quarc16
+        order = []
+        net.on_tail = lambda node, pkt, now: order.append(pkt.pid)
+        a = send_one(net, 0, 3, 6, now=0)
+        b = send_one(net, 0, 3, 6, now=0)
+        drain(net)
+        assert order == [a.pid, b.pid]
+
+    def test_independent_quadrants_do_not_block_each_other(self):
+        """The all-port property: traffic to one quadrant proceeds while
+        another quadrant's queue is busy."""
+        coll = LatencyCollector()
+        net, topo = build_network("quarc", 16, collector=coll)
+        # a long message into the RIGHT quadrant...
+        send_one(net, 0, 4, 64)
+        # ...must not delay a short LEFT-quadrant message
+        send_one(net, 0, 12, 4)
+        net.on_tail = tails = []
+        net.on_tail = lambda node, pkt, now: tails.append((pkt.dst, now))
+        drain(net)
+        by_dst = dict(tails)
+        assert by_dst[12] == topo.hops(0, 12) + 4 - 1
+        assert by_dst[4] == topo.hops(0, 4) + 64 - 1
+
+    def test_spidergon_one_port_head_of_line_blocking(self):
+        """The baseline's defect: a long message blocks the single
+        injection queue even though the second message's links are free."""
+        coll = LatencyCollector()
+        net, topo = build_network("spidergon", 16, collector=coll)
+        send_one(net, 0, 4, 64)     # CW rim
+        send_one(net, 0, 12, 4)     # CCW rim -- disjoint resources
+        tails = []
+        net.on_tail = lambda node, pkt, now: tails.append((pkt.dst, now))
+        drain(net)
+        by_dst = dict(tails)
+        unblocked = topo.hops(0, 12) + 4 - 1
+        assert by_dst[12] > unblocked + 32   # serialised behind the worm
+
+    def test_send_rejects_collectives(self, quarc16):
+        net, _ = quarc16
+        from repro.noc.packet import BROADCAST
+        with pytest.raises(ValueError):
+            net.adapters[0].send(Packet(0, 1, 4, BROADCAST), 0)
+
+
+class TestConservation:
+    @pytest.mark.parametrize("kind", ["quarc", "spidergon", "mesh",
+                                      "torus"])
+    def test_many_messages_all_delivered(self, kind):
+        coll = LatencyCollector()
+        net, _ = build_network(kind, 16, collector=coll)
+        sent = 0
+        for src in range(16):
+            for dst in range(16):
+                if src != dst and (src + dst) % 3 == 0:
+                    send_one(net, src, dst, 4)
+                    sent += 1
+        drain(net)
+        assert coll.delivered_unicast == sent
+        assert net.total_flits() == 0
