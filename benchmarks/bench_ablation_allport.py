@@ -15,7 +15,7 @@ relaxes), a design-space check DESIGN.md calls out.
 from repro.experiments.latency import run_point
 from repro.traffic.workload import WorkloadSpec
 
-from conftest import emit
+from benchlib import emit
 
 
 def _run():

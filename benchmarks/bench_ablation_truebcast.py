@@ -12,7 +12,7 @@ key broadcast claim.
 from repro.experiments.latency import run_point
 from repro.traffic.workload import WorkloadSpec
 
-from conftest import emit
+from benchlib import emit
 
 
 def _run():

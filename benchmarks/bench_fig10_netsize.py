@@ -12,7 +12,7 @@ Shape assertions:
 
 from repro.experiments.figures import run_fig10
 
-from conftest import emit, finite
+from benchlib import emit, finite
 
 
 def test_fig10_netsize(benchmark):

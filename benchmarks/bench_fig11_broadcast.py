@@ -11,7 +11,7 @@ Shape assertions:
 
 from repro.experiments.figures import run_fig11
 
-from conftest import emit, finite
+from benchlib import emit, finite
 
 
 def test_fig11_broadcast(benchmark):

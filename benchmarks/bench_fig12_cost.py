@@ -8,7 +8,7 @@ so the ordering and the ~15% saving are genuine model outputs.
 
 from repro.hw.report import PAPER_SPIDERGON_TOTAL_32, cost_sweep
 
-from conftest import emit
+from benchlib import emit
 
 
 def test_fig12_cost(benchmark):

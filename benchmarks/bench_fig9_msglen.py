@@ -10,7 +10,7 @@ Shape assertions (the paper's claims, not its absolute OMNeT++ numbers):
 
 from repro.experiments.figures import run_fig9
 
-from conftest import emit, finite
+from benchlib import emit, finite
 
 
 def test_fig9_msglen(benchmark):

@@ -9,7 +9,7 @@ two qualitative observations (buffers dominate; crossbar + FCU minimal).
 
 from repro.hw.report import PAPER_QUARC_TABLE1, table1
 
-from conftest import emit
+from benchlib import emit
 
 
 def _generate():

@@ -32,13 +32,16 @@ from repro.core.quadrant import QuadrantCalculator
 from repro.noc.network import Network
 from repro.noc.packet import (BROADCAST, MULTICAST, RELAY, UNICAST,
                               CollectiveOp, Packet)
+from repro.sim.backend import (ActiveSetBackend, BACKENDS,
+                               ReferenceBackend, SimBackend)
 from repro.sim.engine import Simulator
+from repro.sim.session import RunConfig, SimulationSession
 from repro.topologies import (MeshTopology, QuarcTopology,
                               SpidergonTopology, TorusTopology)
 from repro.traffic.mix import TrafficMix
 from repro.traffic.workload import WorkloadSpec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "build_network",
@@ -54,6 +57,12 @@ __all__ = [
     "BROADCAST",
     "RELAY",
     "Simulator",
+    "SimBackend",
+    "ReferenceBackend",
+    "ActiveSetBackend",
+    "BACKENDS",
+    "RunConfig",
+    "SimulationSession",
     "QuarcTopology",
     "SpidergonTopology",
     "MeshTopology",

@@ -25,6 +25,7 @@ from typing import List, Optional
 from repro.analysis import saturation_rate, stage_coefficients
 from repro.analysis.models import average_hops
 from repro.core.api import NETWORK_KINDS
+from repro.sim.backend import BACKENDS
 from repro.experiments.ascii_plot import ascii_curves
 from repro.experiments.csvout import format_table, write_csv
 from repro.experiments.figures import (curves_from_rows, latency_rows,
@@ -55,16 +56,28 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--cycles", type=int, default=8000)
         sp.add_argument("--warmup", type=int, default=2000)
 
+    def add_engine_args(sp, workers=True):
+        sp.add_argument("--backend", choices=sorted(BACKENDS),
+                        default="reference",
+                        help="simulation engine (active = optimized "
+                             "active-set fast path, identical results)")
+        if workers:
+            sp.add_argument("--workers", type=int, default=1,
+                            help="parallel processes for independent "
+                                 "rate points (default: serial)")
+
     sp = sub.add_parser("info", help="topology + analytic model summary")
     add_net_args(sp)
 
     sp = sub.add_parser("sweep", help="latency/load sweep with ASCII plot")
     add_net_args(sp, kinds=False)
+    add_engine_args(sp)
     sp.add_argument("--points", type=int, default=5)
     sp.add_argument("--csv", default="", help="write rows to this CSV")
 
     sp = sub.add_parser("point", help="one simulation point")
     add_net_args(sp)
+    add_engine_args(sp, workers=False)
     sp.add_argument("--rate", type=float, required=True,
                     help="messages/node/cycle")
 
@@ -72,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("fig12", help="Fig. 12: area vs flit width")
     for fig in ("fig9", "fig10", "fig11"):
         sp = sub.add_parser(fig, help=f"regenerate {fig} rows")
+        add_engine_args(sp)
         sp.add_argument("--full", action="store_true",
                         help="full grids (slow)")
         sp.add_argument("--csv", default="",
@@ -101,7 +115,8 @@ def _cmd_sweep(args) -> int:
     results = compare_networks(args.nodes, args.msg_len, args.beta,
                                rates=rates, cycles=args.cycles,
                                warmup=args.warmup, seed=args.seed,
-                               verbose=True)
+                               verbose=True, backend=args.backend,
+                               workers=args.workers)
     rows = latency_rows(results,
                         f"N={args.nodes} M={args.msg_len} b={args.beta:g}")
     print()
@@ -120,7 +135,7 @@ def _cmd_point(args) -> int:
     spec = WorkloadSpec(kind=args.kind, n=args.nodes, msg_len=args.msg_len,
                         beta=args.beta, rate=args.rate, cycles=args.cycles,
                         warmup=args.warmup, seed=args.seed)
-    s = run_point(spec)
+    s = run_point(spec, backend=args.backend)
     print(format_table([s.row()]))
     return 0
 
@@ -129,7 +144,7 @@ def _cmd_figure(args, fig: str) -> int:
     runner = {"fig9": run_fig9, "fig10": run_fig10, "fig11": run_fig11}[fig]
     if args.full:
         os.environ["REPRO_BENCH_FULL"] = "1"
-    rows = runner()
+    rows = runner(backend=args.backend, workers=args.workers)
     path = args.csv or os.path.join("results", f"{fig}.csv")
     print(format_table(rows))
     print(f"[csv] {write_csv(rows, path)}")

@@ -85,7 +85,8 @@ def curves_from_rows(rows: Sequence[Dict[str, object]],
 # Fig. 9: message-length sweep at N=16, beta=5%
 # ----------------------------------------------------------------------
 def run_fig9(fast: Optional[bool] = None, seed: int = 1,
-             msg_lens: Sequence[int] = (8, 16, 32)
+             msg_lens: Sequence[int] = (8, 16, 32),
+             backend: str = "reference", workers: int = 1
              ) -> List[Dict[str, object]]:
     points, cycles, warmup = _grid(fast)
     n, beta = 16, 0.05
@@ -93,7 +94,8 @@ def run_fig9(fast: Optional[bool] = None, seed: int = 1,
     for m in msg_lens:
         res = compare_networks(n, m, beta,
                                rates=_rates_for(n, m, beta, points),
-                               cycles=cycles, warmup=warmup, seed=seed)
+                               cycles=cycles, warmup=warmup, seed=seed,
+                               backend=backend, workers=workers)
         rows.extend(latency_rows(res, config_label=f"M={m}"))
     return rows
 
@@ -102,7 +104,8 @@ def run_fig9(fast: Optional[bool] = None, seed: int = 1,
 # Fig. 10: network-size sweep at M=16, beta=10%, with analysis overlay
 # ----------------------------------------------------------------------
 def run_fig10(fast: Optional[bool] = None, seed: int = 1,
-              sizes: Sequence[int] = (16, 32, 64)
+              sizes: Sequence[int] = (16, 32, 64),
+              backend: str = "reference", workers: int = 1
               ) -> List[Dict[str, object]]:
     points, cycles, warmup = _grid(fast)
     m, beta = 16, 0.10
@@ -110,7 +113,8 @@ def run_fig10(fast: Optional[bool] = None, seed: int = 1,
     for n in sizes:
         rates = _rates_for(n, m, beta, points)
         res = compare_networks(n, m, beta, rates=rates,
-                               cycles=cycles, warmup=warmup, seed=seed)
+                               cycles=cycles, warmup=warmup, seed=seed,
+                               backend=backend, workers=workers)
         rows.extend(latency_rows(res, config_label=f"N={n}"))
         # the paper overlays analytical curves in this figure
         for kind in ("quarc", "spidergon"):
@@ -133,14 +137,16 @@ def run_fig10(fast: Optional[bool] = None, seed: int = 1,
 # ----------------------------------------------------------------------
 def run_fig11(fast: Optional[bool] = None, seed: int = 1,
               betas: Sequence[float] = (0.0, 0.05, 0.10),
-              n: int = 64) -> List[Dict[str, object]]:
+              n: int = 64, backend: str = "reference",
+              workers: int = 1) -> List[Dict[str, object]]:
     points, cycles, warmup = _grid(fast)
     m = 16
     rows: List[Dict[str, object]] = []
     for beta in betas:
         res = compare_networks(n, m, beta,
                                rates=_rates_for(n, m, beta, points),
-                               cycles=cycles, warmup=warmup, seed=seed)
+                               cycles=cycles, warmup=warmup, seed=seed,
+                               backend=backend, workers=workers)
         rows.extend(latency_rows(res, config_label=f"beta={beta:g}"))
     return rows
 

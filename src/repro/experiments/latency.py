@@ -1,74 +1,25 @@
 """Run a single simulation point and summarise it.
 
-This is the inner loop of every latency figure: build the network, drive
-it with the paper's traffic mix for ``cycles`` cycles, and report
-warmup-filtered unicast/broadcast latency plus throughput and a
-saturation flag (backlog still growing when the run ended -- points past
-the saturation knee report transient latency there, just like the paper's
-steeply rising curve tails).
+This is the inner loop of every latency figure.  Historically this module
+owned the build/drive/summarise pipeline; that now lives in
+:class:`repro.sim.session.SimulationSession`, and :func:`run_point` is a
+thin adapter kept as the stable entry point the sweep drivers (and the
+parallel-sweep worker processes) call.
 """
 
 from __future__ import annotations
 
-from repro.core.api import build_network
-from repro.core.collector import LatencyCollector
 from repro.sim.records import RunSummary
-from repro.traffic.mix import TrafficMix
+from repro.sim.session import RunConfig, SimulationSession
 from repro.traffic.workload import WorkloadSpec
 
 __all__ = ["run_point"]
 
 
 def run_point(spec: WorkloadSpec, bcast_mode: str = "clone",
-              clone_disabled: bool = False) -> RunSummary:
+              clone_disabled: bool = False,
+              backend: str = "reference") -> RunSummary:
     """Simulate one :class:`WorkloadSpec` point end to end."""
-    collector = LatencyCollector(warmup=spec.warmup)
-    net, _topo = build_network(
-        spec.kind, spec.n, buffer_depth=spec.buffer_depth,
-        collector=collector, bcast_mode=bcast_mode,
-        clone_disabled=clone_disabled)
-    mix = TrafficMix(net, spec.rate, spec.msg_len, spec.beta, seed=spec.seed)
-
-    # mid-run backlog probe for the saturation flag
-    mid = spec.warmup + (spec.cycles - spec.warmup) // 2
-    backlog_mid = 0
-    for t in range(spec.cycles):
-        mix.generate(t)
-        net.step(t)
-        if t == mid:
-            backlog_mid = net.total_flits()
-    backlog_end = net.total_flits()
-
-    measured_cycles = spec.cycles - spec.warmup
-    delivered = collector.delivered_unicast + collector.completed_collective
-    offered = mix.generated_total
-    accepted_ratio = delivered / offered if offered else 1.0
-    # saturated when the network visibly cannot drain the offered load:
-    # large undelivered backlog and growing in-flight population
-    saturated = (offered > 20
-                 and accepted_ratio < 0.85
-                 and backlog_end > max(backlog_mid, spec.n * spec.msg_len))
-    summary = RunSummary(
-        noc=spec.kind, n=spec.n, msg_len=spec.msg_len,
-        bcast_frac=spec.beta, offered_rate=spec.rate,
-        cycles=spec.cycles, warmup=spec.warmup, seed=spec.seed,
-        unicast_mean=collector.unicast_mean,
-        unicast_ci=collector.unicast_ci(),
-        unicast_samples=collector.unicast.overall.n,
-        unicast_max=(collector.unicast.overall.max
-                     if collector.unicast.overall.n else 0.0),
-        bcast_mean=collector.collective_mean,
-        bcast_ci=collector.collective_ci(),
-        bcast_samples=collector.collective.overall.n,
-        bcast_delivery_mean=(collector.delivery.mean
-                             if collector.delivery.n else 0.0),
-        generated_msgs=mix.generated_total,
-        delivered_msgs=delivered,
-        accepted_rate=delivered / (spec.cycles * spec.n),
-        flits_moved=net.flits_moved,
-        in_flight_at_end=backlog_end,
-        saturated=saturated,
-    )
-    summary.extra["relay_segments"] = collector.relay_segments
-    summary.extra["measured_cycles"] = measured_cycles
-    return summary
+    config = RunConfig(spec=spec, backend=backend, bcast_mode=bcast_mode,
+                       clone_disabled=clone_disabled)
+    return SimulationSession(config).run()

@@ -5,11 +5,18 @@ range depends on where the network saturates, which the analytical models
 predict; :func:`default_rates` spaces points from near-zero load up to
 just past the *Spidergon's* saturation point so every figure shows both
 the flat region and both knees, like the paper's curves.
+
+Every point runs through :class:`repro.sim.session.SimulationSession`
+(via :func:`~repro.experiments.latency.run_point`), so sweeps accept a
+``backend`` selector and, because rate points are independent
+simulations, an optional process pool (``workers > 1``) that runs them
+in parallel with identical results to the serial path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import multiprocessing
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import saturation_rate
 from repro.experiments.latency import run_point
@@ -31,14 +38,30 @@ def default_rates(n: int, msg_len: int, beta: float,
     return [round(top * (i + 1) / points, 6) for i in range(points)]
 
 
+def _run_one(job: Tuple[WorkloadSpec, str, dict]) -> RunSummary:
+    """Top-level worker (must be picklable for multiprocessing)."""
+    spec, backend, kwargs = job
+    return run_point(spec, backend=backend, **kwargs)
+
+
 def sweep_rates(spec: WorkloadSpec, rates: Sequence[float],
-                verbose: bool = False, **kwargs) -> List[RunSummary]:
+                verbose: bool = False, backend: str = "reference",
+                workers: int = 1, **kwargs) -> List[RunSummary]:
     """Run ``spec`` at each rate; stops early after two saturated points
-    (the curve is vertical there, more points add nothing but runtime)."""
+    (the curve is vertical there, more points add nothing but runtime).
+
+    With ``workers > 1`` the rate points run in a process pool.  Results
+    arrive in rate order (``imap``) and the early stop fires on the same
+    two-saturated-points rule, abandoning still-running past-knee points,
+    so parallel and serial sweeps return identical prefixes.
+    """
+    specs = list(spec.sweep_rates(rates))
     out: List[RunSummary] = []
     saturated_seen = 0
-    for s in spec.sweep_rates(rates):
-        summary = run_point(s, **kwargs)
+
+    def note(s: WorkloadSpec, summary: RunSummary) -> bool:
+        """Record one point; True once the saturated tail is reached."""
+        nonlocal saturated_seen
         out.append(summary)
         if verbose:  # pragma: no cover - console convenience
             print(f"  {s.label():45s} uni={summary.unicast_mean:8.1f} "
@@ -46,8 +69,21 @@ def sweep_rates(spec: WorkloadSpec, rates: Sequence[float],
                   f"{'SAT' if summary.saturated else ''}")
         if summary.saturated:
             saturated_seen += 1
-            if saturated_seen >= 2:
-                break
+        return saturated_seen >= 2
+
+    if workers > 1 and len(specs) > 1:
+        jobs = [(s, backend, kwargs) for s in specs]
+        # exiting the `with` terminates the pool, discarding any
+        # deep-saturation points still simulating past the early stop
+        with multiprocessing.Pool(min(workers, len(jobs))) as pool:
+            for s, summary in zip(specs, pool.imap(_run_one, jobs)):
+                if note(s, summary):
+                    break
+        return out
+
+    for s in specs:
+        if note(s, run_point(s, backend=backend, **kwargs)):
+            break
     return out
 
 
@@ -56,7 +92,8 @@ def compare_networks(n: int, msg_len: int, beta: float,
                      cycles: int = 12_000, warmup: int = 3_000,
                      seed: int = 1, kinds: Sequence[str] = ("quarc",
                                                             "spidergon"),
-                     verbose: bool = False) -> Dict[str, List[RunSummary]]:
+                     verbose: bool = False, backend: str = "reference",
+                     workers: int = 1) -> Dict[str, List[RunSummary]]:
     """The paper's core comparison at one (N, M, beta) configuration.
 
     Both networks see the same seeds (common random numbers), so latency
@@ -72,5 +109,6 @@ def compare_networks(n: int, msg_len: int, beta: float,
                             seed=seed)
         if verbose:  # pragma: no cover
             print(f"[{kind}] N={n} M={msg_len} beta={beta:g}")
-        results[kind] = sweep_rates(spec, rates, verbose=verbose)
+        results[kind] = sweep_rates(spec, rates, verbose=verbose,
+                                    backend=backend, workers=workers)
     return results

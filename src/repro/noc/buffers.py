@@ -48,7 +48,7 @@ class FlitBuffer:
     """
 
     __slots__ = ("q", "capacity", "label", "router", "role",
-                 "cur_out", "cur_vc", "cur_deliver")
+                 "cur_out", "cur_vc", "cur_deliver", "fed")
 
     def __init__(self, capacity: int, label: str = "",
                  router: Optional["Router"] = None, role: int = -1):
@@ -58,6 +58,11 @@ class FlitBuffer:
         self.capacity = capacity
         self.label = label
         self.router = router
+        #: Output ports this buffer feeds (inverse of ``OutPort.feeders``).
+        #: Maintained by ``OutPort.add_feeder``; empty<->nonempty
+        #: transitions update each port's ``live_feeders`` count so
+        #: backends can skip arbitrating ports with no flits to offer.
+        self.fed: list = []
         #: small-int port-role tag set by the owning router; lets
         #: ``route_head`` dispatch on the ingress direction without dict
         #: lookups (it runs once per blocked header flit per cycle).
@@ -87,20 +92,35 @@ class FlitBuffer:
         """Append a flit.  Raises on overflow -- the sender must have
         checked ``full`` first (credit discipline); a raise here means a
         flow-control bug, not a recoverable condition."""
-        if len(self.q) >= self.capacity:
+        q = self.q
+        if len(q) >= self.capacity:
             raise OverflowError(
                 f"flit pushed into full buffer {self.label!r} "
                 f"(capacity {self.capacity})")
-        self.q.append((packet, flit_index))
+        if not q:
+            for p in self.fed:
+                p.live_feeders += 1
+        q.append((packet, flit_index))
         r = self.router
         if r is not None:
-            r.flits += 1
+            f = r.flits
+            r.flits = f + 1
+            if not f:
+                # 0 -> 1 transition: the router just became active.  The
+                # wake_set is None unless an active-set backend installed
+                # one, so the reference path pays only this branch.
+                net = r.net
+                if net is not None and net.wake_set is not None:
+                    net.wake_set.add(r)
 
     def head(self) -> Optional[Tuple["Packet", int]]:
         return self.q[0] if self.q else None
 
     def pop(self) -> Tuple["Packet", int]:
         item = self.q.popleft()
+        if not self.q:
+            for p in self.fed:
+                p.live_feeders -= 1
         r = self.router
         if r is not None:
             r.flits -= 1

@@ -12,7 +12,7 @@ the two-phase semantics.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, TYPE_CHECKING
+from typing import Callable, List, Optional, Set, TYPE_CHECKING
 
 from repro.noc.ports import Move
 from repro.noc.router import Router, commit_move
@@ -75,6 +75,12 @@ class Network:
         self.deliveries = 0
         self._moves: List[Move] = []
         self.on_tail: Optional[Callable[[int, "Packet", int], None]] = None
+        #: Router-activation sink.  ``None`` by default (zero overhead on
+        #: the reference path); an :class:`repro.sim.backend.ActiveSetBackend`
+        #: installs a set here and :meth:`FlitBuffer.push` adds any router
+        #: whose flit count transitions 0 -> 1, so the backend only ever
+        #: visits routers that can possibly move a flit.
+        self.wake_set: Optional[Set[Router]] = None
         for r in routers:
             r.net = self
         for a in adapters:
@@ -84,8 +90,15 @@ class Network:
     # hot path
     # ------------------------------------------------------------------
     def step(self, now: Optional[int] = None) -> int:
-        """Advance one cycle; returns the number of flits moved."""
-        if now is None:
+        """Advance one cycle; returns the number of flits moved.
+
+        ``now`` may come from an external clock (e.g. :meth:`attach`); the
+        simulation clock is kept monotonic by clamping a lagging ``now`` to
+        ``self.cycle``, so mixing ``drain()`` / ``run()`` with a DES-driven
+        step can never rewind time (which would corrupt latency stamps and
+        ``drain``'s cycle accounting).
+        """
+        if now is None or now < self.cycle:
             now = self.cycle
         moves = self._moves
         moves.clear()

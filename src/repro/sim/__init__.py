@@ -12,6 +12,13 @@ paper used for its flit-level simulator).  It provides:
   intervals.
 * :mod:`repro.sim.records` -- light-weight record types for latency
   samples and simulation summaries.
+* :mod:`repro.sim.backend` -- pluggable cycle-execution engines: the
+  reference semantics and the active-set fast path (see README.md in
+  this directory).
+* :mod:`repro.sim.session` -- :class:`RunConfig` / ``SimulationSession``,
+  the single entry point experiments, benchmarks and the CLI run through.
+  (Not imported here: it builds on :mod:`repro.core`, which itself
+  imports this package -- import it as ``repro.sim.session``.)
 
 The flit-level NoC models in :mod:`repro.noc` register a single recurring
 "network step" activity with the engine, so the hot per-cycle loop stays in
@@ -19,6 +26,13 @@ optimised plain-Python code while scheduling, stop conditions and
 instrumentation go through the kernel.
 """
 
+from repro.sim.backend import (
+    ActiveSetBackend,
+    BACKENDS,
+    ReferenceBackend,
+    SimBackend,
+    make_backend,
+)
 from repro.sim.engine import Event, Simulator
 from repro.sim.rng import RngStreams
 from repro.sim.stats import (
@@ -30,6 +44,11 @@ from repro.sim.stats import (
 from repro.sim.records import LatencySample, RunSummary
 
 __all__ = [
+    "ActiveSetBackend",
+    "BACKENDS",
+    "ReferenceBackend",
+    "SimBackend",
+    "make_backend",
     "Event",
     "Simulator",
     "RngStreams",

@@ -1,0 +1,315 @@
+"""Pluggable simulation backends: the seam between *what* a cycle means
+and *how fast* it executes.
+
+A :class:`SimBackend` drives one :class:`~repro.noc.network.Network`
+through simulated cycles.  Two implementations ship today:
+
+* :class:`ReferenceBackend` -- the correctness oracle.  It delegates to
+  ``Network.step`` (the original, unmodified per-cycle semantics: poll
+  every router, arbitrate, commit) so its behaviour is the seed
+  simulator's behaviour by construction.
+* :class:`ActiveSetBackend` -- an optimized engine producing *identical*
+  results.  It maintains an **active set** of routers (only routers that
+  hold flits or just received an injection are visited), reuses a
+  preallocated move buffer, and **fast-forwards idle gaps**: when the
+  network is empty it precomputes the traffic process in blocks and jumps
+  the clock straight to the next arrival instead of spinning empty
+  cycles.
+
+Why the results are bit-identical
+---------------------------------
+* Phase A (arbitration) reads only start-of-cycle state and mutates only
+  each port's private round-robin pointer, so *which* routers are polled
+  does not matter -- polling an idle router is a no-op, and the reference
+  loop already skips ``flits == 0`` routers.
+* The commit loop is shared verbatim (:func:`repro.noc.router.commit_move`)
+  and the active set is kept **sorted by node id**, so moves commit in
+  exactly the reference order and every collector callback fires in the
+  same sequence (floating-point accumulation order included).
+* Idle cycles are provably no-ops: with zero flits in flight, ``step``
+  only advances the clock.  Fast-forwarding assigns the same final clock
+  without executing the no-ops.
+* Traffic fast-forwarding replays the same RNG draws: each node's arrival
+  stream is drawn once per generating cycle (in cycle order) whether
+  drawn lazily or in blocks, and the per-node class/destination streams
+  are only consumed at actual arrivals (see
+  :meth:`repro.traffic.mix.TrafficMix.precompute_arrivals`).
+
+Activation tracking costs the reference path one extra integer test in
+:meth:`repro.noc.buffers.FlitBuffer.push`; the ``Network.wake_set`` sink
+is ``None`` unless an active-set backend installs it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Type, TYPE_CHECKING
+
+from repro.noc.ports import Move
+from repro.noc.router import Router, commit_move
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.network import Network
+    from repro.traffic.mix import TrafficMix
+
+__all__ = ["SimBackend", "ReferenceBackend", "ActiveSetBackend",
+           "BACKENDS", "make_backend"]
+
+#: ``probes`` maps a cycle number to a callback invoked *after* that
+#: cycle's step (the experiment drivers use one mid-run backlog probe).
+Probes = Dict[int, Callable[[int], None]]
+
+
+class SimBackend:
+    """Drives one network through simulated cycles.
+
+    Subclasses implement :meth:`step`; the bundled run loops are generic
+    but may be overridden for speed (the active-set backend replaces
+    :meth:`run_mix` with a block-precomputing fast-forward loop).
+    """
+
+    name = "abstract"
+
+    def __init__(self, net: "Network"):
+        self.net = net
+
+    # -- single cycle ---------------------------------------------------
+    def step(self, now: Optional[int] = None) -> int:
+        """Advance one cycle; returns the number of flits moved."""
+        raise NotImplementedError
+
+    # -- bulk loops -----------------------------------------------------
+    def run(self, cycles: int,
+            per_cycle: Optional[Callable[[int], None]] = None) -> None:
+        """Run ``cycles`` steps; ``per_cycle(t)`` runs before each step."""
+        step = self.step
+        t0 = self.net.cycle
+        if per_cycle is None:
+            for t in range(t0, t0 + cycles):
+                step(t)
+        else:
+            for t in range(t0, t0 + cycles):
+                per_cycle(t)
+                step(t)
+
+    def run_mix(self, mix: "TrafficMix", cycles: int,
+                probes: Optional[Probes] = None) -> None:
+        """Drive ``mix`` + network for ``cycles`` cycles from ``net.cycle``."""
+        step = self.step
+        gen = mix.generate
+        t0 = self.net.cycle
+        if not probes:
+            for t in range(t0, t0 + cycles):
+                gen(t)
+                step(t)
+            return
+        for t in range(t0, t0 + cycles):
+            gen(t)
+            step(t)
+            cb = probes.get(t)
+            if cb is not None:
+                cb(t)
+
+    def drain(self, max_cycles: int = 1_000_000) -> int:
+        """Run without new traffic until the network empties; returns
+        cycles taken (same liveness contract as ``Network.drain``)."""
+        net = self.net
+        start = net.cycle
+        while self.in_flight():
+            if net.cycle - start > max_cycles:
+                raise RuntimeError(
+                    f"network failed to drain within {max_cycles} cycles; "
+                    f"{self.in_flight()} flits stuck (possible deadlock)")
+            self.step()
+        return net.cycle - start
+
+    # -- introspection --------------------------------------------------
+    def in_flight(self) -> int:
+        return self.net.total_flits()
+
+    def detach(self) -> None:
+        """Release any hooks installed on the network."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} net={self.net.name!r}>"
+
+
+class ReferenceBackend(SimBackend):
+    """The seed semantics, kept as the correctness oracle.
+
+    ``Network.step`` *is* the reference implementation (poll every
+    router, arbitrate, commit in node order); delegating rather than
+    copying guarantees the oracle can never drift from the fabric.
+    """
+
+    name = "reference"
+
+    def step(self, now: Optional[int] = None) -> int:
+        return self.net.step(now)
+
+
+def _by_node(r: Router) -> int:
+    return r.node
+
+
+class ActiveSetBackend(SimBackend):
+    """Optimized engine: active-router set + idle fast-forward.
+
+    Invariant: every router with ``flits > 0`` is in ``_member`` or in
+    ``net.wake_set`` (the push hook fires on every 0 -> 1 transition and
+    routers are only pruned when observed empty).  The active list is
+    kept sorted by node id so arbitration/commit order -- and therefore
+    every statistic -- matches the reference backend exactly.
+    """
+
+    name = "active"
+
+    #: Cycles of traffic precomputed per block in :meth:`run_mix`.
+    CHUNK = 2048
+
+    def __init__(self, net: "Network"):
+        super().__init__(net)
+        if net.wake_set is None:
+            net.wake_set = set()
+        self._moves: List[Move] = []
+        self._active: List[Router] = [r for r in net.routers if r.flits]
+        self._member: Set[Router] = set(self._active)
+
+    def detach(self) -> None:
+        self.net.wake_set = None
+
+    # ------------------------------------------------------------------
+    def _merge_wake(self) -> None:
+        wake = self.net.wake_set
+        if wake:
+            member = self._member
+            fresh = [r for r in wake if r not in member]
+            wake.clear()
+            if fresh:
+                member.update(fresh)
+                self._active.extend(fresh)
+                self._active.sort(key=_by_node)
+
+    def _prune(self) -> None:
+        """Drop routers that are empty *now* (post-commit: a router idle
+        in phase A may have been refilled by a commit this cycle)."""
+        member = self._member
+        keep: List[Router] = []
+        for r in self._active:
+            if r.flits:
+                keep.append(r)
+            else:
+                member.discard(r)
+        self._active = keep
+
+    # ------------------------------------------------------------------
+    def step(self, now: Optional[int] = None) -> int:
+        net = self.net
+        if now is None or now < net.cycle:
+            now = net.cycle
+        self._merge_wake()
+        active = self._active
+        if not active:
+            net.cycle = now + 1
+            return 0
+        moves = self._moves
+        moves.clear()
+        append = moves.append
+        idle = 0
+        for r in active:
+            if r.flits:
+                # inlined Router.collect, with the port-activity filter:
+                # a port with zero non-empty feeders cannot grant a move
+                for port in r.out_ports:
+                    if port.live_feeders:
+                        mv = port.arbitrate()
+                        if mv is not None:
+                            append(mv)
+            else:
+                idle += 1
+        for mv in moves:
+            commit_move(mv, now, net)
+        moved = len(moves)
+        net.flits_moved += moved
+        net.cycle = now + 1
+        if idle:
+            self._prune()
+        return moved
+
+    def in_flight(self) -> int:
+        self._merge_wake()
+        return sum(r.flits for r in self._active)
+
+    # ------------------------------------------------------------------
+    def run_mix(self, mix: "TrafficMix", cycles: int,
+                probes: Optional[Probes] = None) -> None:
+        """Block-precompute arrivals and fast-forward idle gaps.
+
+        Arrival draws happen in tight per-node loops (one block at a
+        time); cycles where the network is empty and no arrival or probe
+        is due are skipped by assigning the clock directly -- they are
+        no-ops in the reference loop.
+        """
+        net = self.net
+        probes = probes or {}
+        step = self.step
+        inject = mix.inject
+        t = net.cycle
+        end = t + cycles
+        while t < end:
+            c1 = min(t + self.CHUNK, end)
+            by_cycle = mix.precompute_arrivals(t, c1)
+            pending = sorted(set(by_cycle).union(
+                p for p in probes if t <= p < c1))
+            pi = 0
+            while t < c1:
+                if self._active or net.wake_set:
+                    # network busy: run cycle by cycle (reference order)
+                    nodes = by_cycle.get(t)
+                    if nodes is not None:
+                        for i in nodes:
+                            inject(i, t)
+                    step(t)
+                    cb = probes.get(t)
+                    if cb is not None:
+                        cb(t)
+                    t += 1
+                    continue
+                # network empty: jump to the next arrival/probe cycle
+                while pi < len(pending) and pending[pi] < t:
+                    pi += 1
+                if pi == len(pending):
+                    net.cycle = t = c1
+                    break
+                nxt = pending[pi]
+                if nxt > t:
+                    net.cycle = t = nxt
+                    continue
+                nodes = by_cycle.get(t)
+                if nodes is not None:
+                    for i in nodes:
+                        inject(i, t)
+                    step(t)
+                else:
+                    net.cycle = t + 1     # probe-only cycle, still empty
+                cb = probes.get(t)
+                if cb is not None:
+                    cb(t)
+                t += 1
+                pi += 1
+
+
+BACKENDS: Dict[str, Type[SimBackend]] = {
+    ReferenceBackend.name: ReferenceBackend,
+    ActiveSetBackend.name: ActiveSetBackend,
+}
+
+
+def make_backend(name: str, net: "Network") -> SimBackend:
+    """Instantiate backend ``name`` ("reference" | "active") for ``net``."""
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown simulation backend {name!r}; "
+            f"expected one of {sorted(BACKENDS)}") from None
+    return cls(net)

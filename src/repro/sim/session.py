@@ -1,0 +1,162 @@
+"""The single entry point for running simulations.
+
+A :class:`RunConfig` bundles *everything* one simulation point needs --
+the declarative :class:`~repro.traffic.workload.WorkloadSpec`, the
+backend name, and the network ablation switches.  A
+:class:`SimulationSession` turns a config into a wired network + traffic
+mix + collector, runs it to the horizon under the selected backend, and
+emits the :class:`~repro.sim.records.RunSummary` every figure, benchmark
+and CLI command consumes.
+
+Before this layer existed the build/drive/summarise pipeline was
+duplicated (with slight drift) across ``cli.py``, ``experiments/latency``,
+``experiments/sweep`` and the benchmarks; they now all call through here,
+which is also the seam future scaling work (sharding, batching, compiled
+kernels) plugs into: a new engine only has to implement the
+:class:`~repro.sim.backend.SimBackend` protocol to serve every consumer.
+
+>>> from repro.sim.session import RunConfig, SimulationSession
+>>> from repro.traffic.workload import WorkloadSpec
+>>> spec = WorkloadSpec(kind="quarc", n=8, msg_len=4, beta=0.0,
+...                     rate=0.01, cycles=600, warmup=100, seed=3)
+>>> summary = SimulationSession(RunConfig(spec=spec, backend="active")).run()
+>>> summary.noc
+'quarc'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict
+
+from repro.sim.backend import BACKENDS, SimBackend, make_backend
+from repro.sim.records import RunSummary
+from repro.traffic.workload import WorkloadSpec
+
+__all__ = ["RunConfig", "SimulationSession", "run_config"]
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One fully-specified simulation run.
+
+    ``spec`` carries the paper's parameter point; the remaining fields
+    select *how* it is executed (backend engine) and which network
+    ablations are active.  Frozen + picklable, so a config can be shipped
+    to a worker process or logged next to its results.
+    """
+
+    spec: WorkloadSpec
+    backend: str = "reference"
+    bcast_mode: str = "clone"           # Quarc ablation: "clone" | "relay"
+    clone_disabled: bool = False
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown simulation backend {self.backend!r}; "
+                f"expected one of {sorted(BACKENDS)}")
+
+    def with_backend(self, backend: str) -> "RunConfig":
+        return replace(self, backend=backend)
+
+
+def run_config(spec: WorkloadSpec, backend: str = "reference",
+               **kwargs) -> RunConfig:
+    """Convenience constructor mirroring the old ``run_point`` keywords."""
+    return RunConfig(spec=spec, backend=backend, **kwargs)
+
+
+class SimulationSession:
+    """Build a network, attach traffic + collector, run, summarise.
+
+    The lifecycle is split so tests and custom experiments can intervene:
+    construction wires everything (network, backend, mix, collector);
+    :meth:`run` executes the configured horizon with the mid-run backlog
+    probe; :meth:`drain` empties the network through the same backend;
+    :meth:`summary` assembles the :class:`RunSummary` at any point.
+    """
+
+    def __init__(self, config: RunConfig):
+        # Imported lazily: repro.core imports repro.sim.stats, so a
+        # module-level import here would be circular when the interpreter
+        # enters the package graph through repro.core.
+        from repro.core.api import build_network
+        from repro.core.collector import LatencyCollector
+        from repro.traffic.mix import TrafficMix
+
+        self.config = config
+        spec = config.spec
+        self.collector = LatencyCollector(warmup=spec.warmup)
+        self.net, self.topo = build_network(
+            spec.kind, spec.n, buffer_depth=spec.buffer_depth,
+            collector=self.collector, bcast_mode=config.bcast_mode,
+            clone_disabled=config.clone_disabled)
+        self.backend: SimBackend = make_backend(config.backend, self.net)
+        self.mix = TrafficMix(self.net, spec.rate, spec.msg_len, spec.beta,
+                              seed=spec.seed)
+        self._backlog_mid = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunSummary:
+        """Run the configured horizon and return the summary."""
+        spec = self.config.spec
+        mid = spec.warmup + (spec.cycles - spec.warmup) // 2
+        probes: Dict[int, Callable[[int], None]] = {mid: self._probe_backlog}
+        self.backend.run_mix(self.mix, spec.cycles, probes)
+        return self.summary()
+
+    def _probe_backlog(self, now: int) -> None:
+        self._backlog_mid = self.net.total_flits()
+
+    def drain(self, max_cycles: int = 1_000_000) -> int:
+        """Run without new traffic until empty; returns cycles taken."""
+        return self.backend.drain(max_cycles)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> RunSummary:
+        spec = self.config.spec
+        coll = self.collector
+        net = self.net
+        mix = self.mix
+        backlog_end = net.total_flits()
+        delivered = coll.delivered_unicast + coll.completed_collective
+        offered = mix.generated_total
+        accepted_ratio = delivered / offered if offered else 1.0
+        # saturated when the network visibly cannot drain the offered
+        # load: large undelivered backlog and growing in-flight population
+        saturated = (offered > 20
+                     and accepted_ratio < 0.85
+                     and backlog_end > max(self._backlog_mid,
+                                           spec.n * spec.msg_len))
+        summary = RunSummary(
+            noc=spec.kind, n=spec.n, msg_len=spec.msg_len,
+            bcast_frac=spec.beta, offered_rate=spec.rate,
+            cycles=spec.cycles, warmup=spec.warmup, seed=spec.seed,
+            unicast_mean=coll.unicast_mean,
+            unicast_ci=coll.unicast_ci(),
+            unicast_samples=coll.unicast.overall.n,
+            unicast_max=(coll.unicast.overall.max
+                         if coll.unicast.overall.n else 0.0),
+            bcast_mean=coll.collective_mean,
+            bcast_ci=coll.collective_ci(),
+            bcast_samples=coll.collective.overall.n,
+            bcast_delivery_mean=(coll.delivery.mean
+                                 if coll.delivery.n else 0.0),
+            generated_msgs=mix.generated_total,
+            delivered_msgs=delivered,
+            accepted_rate=delivered / (spec.cycles * spec.n),
+            flits_moved=net.flits_moved,
+            in_flight_at_end=backlog_end,
+            saturated=saturated,
+        )
+        # NOTE: deliberately no backend tag in `extra` -- summaries from
+        # different backends at the same config must compare equal, which
+        # the equivalence tests rely on.
+        summary.extra["relay_segments"] = coll.relay_segments
+        summary.extra["measured_cycles"] = spec.cycles - spec.warmup
+        return summary
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SimulationSession {self.config.spec.label()} "
+                f"backend={self.config.backend}>")

@@ -9,8 +9,9 @@ pluggable :class:`DestinationPattern`.
 
 from __future__ import annotations
 
+import math
 import random
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 __all__ = [
     "BernoulliInjector",
@@ -24,10 +25,31 @@ __all__ = [
 ]
 
 
-class BernoulliInjector:
-    """Per-node Bernoulli(rate) arrival process."""
+#: Gap sentinel for ``rate == 0`` sources: far beyond any horizon, large
+#: enough that per-cycle countdown can never reach zero in practice.
+_NEVER = 1 << 62
 
-    __slots__ = ("rate", "rng", "arrivals")
+#: Inter-arrival gaps are geometric; a gap draw costs one uniform draw,
+#: so the process consumes one RNG value per *arrival*, not per cycle --
+#: which is what lets the active-set backend fast-forward idle spans in
+#: O(arrivals) instead of O(cycles).
+_LOG = math.log
+_LOG1P = math.log1p
+
+
+class BernoulliInjector:
+    """Per-node Bernoulli(rate) arrival process.
+
+    Implemented as its exact equivalent, a geometric inter-arrival
+    countdown: after each arrival the number of non-arrival cycles until
+    the next one is drawn as ``G = floor(ln(1-U) / ln(1-rate))`` (``G = 0``
+    with probability ``rate``, i.e. back-to-back arrivals).  Per-cycle
+    :meth:`fires` decrements the countdown; :meth:`arrivals_in` consumes
+    the same gap sequence in bulk, so cycle-by-cycle and block-based
+    drivers produce identical arrival trains from the same stream.
+    """
+
+    __slots__ = ("rate", "rng", "arrivals", "_gap")
 
     def __init__(self, rate: float, rng: random.Random):
         if not 0.0 <= rate <= 1.0:
@@ -35,13 +57,48 @@ class BernoulliInjector:
         self.rate = rate
         self.rng = rng
         self.arrivals = 0
+        self._gap = self._draw_gap()          # cycles until first arrival
+
+    def _draw_gap(self) -> int:
+        """Non-arrival cycles preceding the next arrival."""
+        rate = self.rate
+        if rate <= 0.0:
+            return _NEVER
+        if rate >= 1.0:
+            return 0
+        # floor(ln(1-U)/ln(1-rate)), U ~ Uniform[0,1): geometric with
+        # P(G=0) = rate, so back-to-back arrivals keep probability `rate`.
+        # log1p keeps the denominator non-zero (and accurate) for rates
+        # below float epsilon, where log(1.0 - rate) would be 0.0.
+        return int(_LOG(1.0 - self.rng.random()) / _LOG1P(-rate))
 
     def fires(self) -> bool:
-        """One per-cycle coin flip."""
-        if self.rng.random() < self.rate:
+        """One per-cycle arrival check."""
+        gap = self._gap
+        if gap:
+            self._gap = gap - 1
+            return False
+        self.arrivals += 1
+        self._gap = self._draw_gap()
+        return True
+
+    def arrivals_in(self, start: int, stop: int) -> List[int]:
+        """All arrival cycles in ``[start, stop)``, consumed in bulk.
+
+        Leaves the countdown exactly where ``stop - start`` successive
+        :meth:`fires` calls would, so drivers may switch freely between
+        per-cycle and block consumption.
+        """
+        out: List[int] = []
+        if stop <= start:
+            return out
+        nxt = start + self._gap          # absolute cycle of next arrival
+        while nxt < stop:
+            out.append(nxt)
             self.arrivals += 1
-            return True
-        return False
+            nxt += 1 + self._draw_gap()
+        self._gap = nxt - stop
+        return out
 
 
 class DestinationPattern:

@@ -10,7 +10,7 @@ unicast otherwise.  Message length is ``msg_len`` flits for both classes
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.noc.packet import Packet, UNICAST
 from repro.sim.rng import RngStreams
@@ -59,19 +59,51 @@ class TrafficMix:
         if (self.stop_generating_at is not None
                 and now >= self.stop_generating_at):
             return
-        adapters = self.net.adapters
-        beta = self.beta
         for i, inj in enumerate(self._injectors):
-            if not inj.fires():
-                continue
-            if beta and self._class_rng[i].random() < beta:
-                adapters[i].send_broadcast(self.msg_len, now)
-                self.generated_broadcasts += 1
-            else:
-                dst = self.pattern.pick(i, self._dst_rng[i])
-                pkt = Packet(i, dst, self.msg_len, UNICAST, created=now)
-                adapters[i].send(pkt, now)
-                self.generated_unicasts += 1
+            if inj.fires():
+                self.inject(i, now)
+
+    def inject(self, node: int, now: int) -> None:
+        """Emit one message at ``node``: the class/destination draws and
+        the adapter hand-off that :meth:`generate` performs for a firing
+        injector.  Exposed so block-based drivers (the active-set backend)
+        can replay precomputed arrivals with identical RNG consumption."""
+        if self.beta and self._class_rng[node].random() < self.beta:
+            self.net.adapters[node].send_broadcast(self.msg_len, now)
+            self.generated_broadcasts += 1
+        else:
+            dst = self.pattern.pick(node, self._dst_rng[node])
+            pkt = Packet(node, dst, self.msg_len, UNICAST, created=now)
+            self.net.adapters[node].send(pkt, now)
+            self.generated_unicasts += 1
+
+    def precompute_arrivals(self, start: int, stop: int
+                            ) -> Dict[int, List[int]]:
+        """Draw every node's arrival process for cycles ``[start, stop)``.
+
+        Returns ``{cycle: [node, ...]}`` (nodes ascending within a cycle).
+        Consumes each node's private arrival stream exactly as ``generate``
+        would over the same window (see
+        :meth:`~repro.traffic.generators.BernoulliInjector.arrivals_in`),
+        so interleaving block precomputation with per-cycle :meth:`inject`
+        calls reproduces ``generate``'s traffic flit-for-flit.
+        Class/destination streams are *not* touched here; they are drawn
+        by :meth:`inject` at the arrival cycle, in the same per-node order
+        as the reference loop.
+        """
+        by_cycle: Dict[int, List[int]] = {}
+        if self.stop_generating_at is not None:
+            stop = min(stop, self.stop_generating_at)
+        if stop <= start:
+            return by_cycle
+        for i, inj in enumerate(self._injectors):
+            for t in inj.arrivals_in(start, stop):
+                lst = by_cycle.get(t)
+                if lst is None:
+                    by_cycle[t] = [i]
+                else:
+                    lst.append(i)
+        return by_cycle
 
     @property
     def generated_total(self) -> int:

@@ -1,4 +1,4 @@
-"""Shared fixtures and helpers for the test-suite."""
+"""Shared fixtures for the test-suite (helpers live in ``helpers.py``)."""
 
 from __future__ import annotations
 
@@ -9,24 +9,6 @@ import pytest
 from repro.core.api import build_network
 from repro.core.collector import LatencyCollector
 from repro.noc.network import Network
-from repro.noc.packet import Packet, UNICAST
-
-
-def drain(net: Network, max_cycles: int = 200_000) -> int:
-    """Run without new traffic until empty; returns cycles taken."""
-    return net.drain(max_cycles)
-
-
-def send_one(net: Network, src: int, dst: int, size: int,
-             now: int = 0) -> Packet:
-    pkt = Packet(src, dst, size, UNICAST, created=now)
-    net.adapters[src].send(pkt, now)
-    return pkt
-
-
-def run_cycles(net: Network, cycles: int) -> None:
-    for _ in range(cycles):
-        net.step()
 
 
 @pytest.fixture

@@ -1,0 +1,31 @@
+"""Importable test helpers.
+
+Plain module (not a ``conftest``) so test files can ``from helpers
+import drain`` without depending on which pytest root got onto
+``sys.path`` first -- the seed repo's ``from conftest import drain``
+resolved against ``benchmarks/conftest.py`` and broke collection.
+"""
+
+from __future__ import annotations
+
+from repro.noc.network import Network
+from repro.noc.packet import Packet, UNICAST
+
+__all__ = ["drain", "send_one", "run_cycles"]
+
+
+def drain(net: Network, max_cycles: int = 200_000) -> int:
+    """Run without new traffic until empty; returns cycles taken."""
+    return net.drain(max_cycles)
+
+
+def send_one(net: Network, src: int, dst: int, size: int,
+             now: int = 0) -> Packet:
+    pkt = Packet(src, dst, size, UNICAST, created=now)
+    net.adapters[src].send(pkt, now)
+    return pkt
+
+
+def run_cycles(net: Network, cycles: int) -> None:
+    for _ in range(cycles):
+        net.step()

@@ -1,0 +1,200 @@
+"""Backend equivalence and active-set correctness.
+
+The central contract: for any seed and :class:`RunConfig`, the
+``active`` backend must produce a :class:`RunSummary` *identical* (full
+dataclass equality, floats included) to the ``reference`` backend --
+deliveries, latency means, CIs, flits moved, saturation flags, drain
+cycles.  The reference backend is ``Network.step`` itself, so this
+pins the optimized engine to the seed semantics.
+"""
+
+import random
+
+import pytest
+
+from repro.core.api import NETWORK_KINDS, build_network
+from repro.noc.packet import Packet, UNICAST
+from repro.sim.backend import (ActiveSetBackend, ReferenceBackend,
+                               make_backend)
+from repro.sim.session import RunConfig, SimulationSession
+from repro.traffic.generators import BernoulliInjector
+from repro.traffic.mix import TrafficMix
+from repro.traffic.workload import WorkloadSpec
+
+
+def _summaries(spec, **cfg):
+    out = []
+    for backend in ("reference", "active"):
+        session = SimulationSession(
+            RunConfig(spec=spec, backend=backend, **cfg))
+        out.append(session.run())
+    return out
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("kind", NETWORK_KINDS)
+    @pytest.mark.parametrize("beta", [0.0, 0.1])
+    def test_identical_summaries(self, kind, beta):
+        spec = WorkloadSpec(kind=kind, n=8, msg_len=4, beta=beta,
+                            rate=0.02, cycles=2000, warmup=400, seed=11)
+        ref, act = _summaries(spec)
+        assert ref == act
+
+    def test_identical_under_load(self):
+        """Near saturation the active set covers the whole network."""
+        spec = WorkloadSpec(kind="spidergon", n=8, msg_len=16, beta=0.0,
+                            rate=0.5, cycles=1500, warmup=300, seed=3)
+        ref, act = _summaries(spec)
+        assert ref == act
+        assert ref.saturated
+
+    def test_identical_quarc_relay_ablation(self):
+        """The re-injection path (adapter pushes during commit) too."""
+        spec = WorkloadSpec(kind="quarc", n=8, msg_len=4, beta=0.3,
+                            rate=0.03, cycles=1500, warmup=300, seed=5)
+        ref, act = _summaries(spec, bcast_mode="relay",
+                              clone_disabled=True)
+        assert ref == act
+        assert ref.bcast_samples > 0
+
+    @pytest.mark.parametrize("kind", NETWORK_KINDS)
+    def test_identical_drain_cycles(self, kind):
+        drains = []
+        for backend in ("reference", "active"):
+            net, _ = build_network(kind, 8)
+            be = make_backend(backend, net)
+            for src, dst in ((0, 5), (3, 1), (6, 2)):
+                net.adapters[src].send(
+                    Packet(src, dst, 6, UNICAST, created=0), 0)
+            drains.append((be.drain(), net.deliveries, net.flits_moved))
+        assert drains[0] == drains[1]
+
+    def test_zero_rate_fast_forward(self):
+        """An empty network fast-forwards; clock and counters agree."""
+        spec = WorkloadSpec(kind="quarc", n=8, msg_len=4, beta=0.0,
+                            rate=0.0, cycles=5000, warmup=500, seed=1)
+        ref, act = _summaries(spec)
+        assert ref == act
+        assert act.generated_msgs == 0
+        assert act.flits_moved == 0
+
+    def test_unknown_backend_rejected(self):
+        net, _ = build_network("quarc", 8)
+        with pytest.raises(ValueError, match="unknown simulation backend"):
+            make_backend("warp", net)
+        spec = WorkloadSpec(kind="quarc", n=8, msg_len=4, beta=0.0,
+                            rate=0.01, cycles=200, warmup=50)
+        with pytest.raises(ValueError, match="unknown simulation backend"):
+            RunConfig(spec=spec, backend="warp")
+
+
+class TestActiveSet:
+    def test_wake_on_injection_and_prune_on_drain(self):
+        net, _ = build_network("quarc", 8)
+        be = ActiveSetBackend(net)
+        assert be._active == [] and net.wake_set == set()
+        net.adapters[2].send(Packet(2, 6, 3, UNICAST, created=0), 0)
+        assert net.routers[2] in net.wake_set
+        be.drain()
+        be.step()                      # one extra visit prunes the idle set
+        assert be._active == []
+        assert be.in_flight() == 0
+        assert net.deliveries == 1
+
+    def test_mixed_direct_steps_stay_consistent(self):
+        """net.step() (reference path) interleaved with backend.step():
+        the wake hook keeps the active set correct either way."""
+        net, _ = build_network("spidergon", 8)
+        be = ActiveSetBackend(net)
+        net.adapters[0].send(Packet(0, 4, 4, UNICAST, created=0), 0)
+        net.step()                     # direct reference-style step
+        be.drain()
+        assert net.deliveries == 1
+        assert be.in_flight() == 0
+
+    def test_detach_removes_hook(self):
+        net, _ = build_network("quarc", 8)
+        be = ActiveSetBackend(net)
+        be.detach()
+        assert net.wake_set is None
+        net.adapters[0].send(Packet(0, 3, 2, UNICAST, created=0), 0)
+        assert net.drain() > 0         # reference path unaffected
+
+    def test_live_feeder_counts_consistent_after_run(self):
+        spec = WorkloadSpec(kind="torus", n=16, msg_len=8, beta=0.0,
+                            rate=0.05, cycles=800, warmup=100, seed=7)
+        session = SimulationSession(RunConfig(spec=spec, backend="active"))
+        session.run()
+        for r in session.net.routers:
+            for port in r.out_ports:
+                expected = sum(1 for b in port.feeders if b.q)
+                assert port.live_feeders == expected, port
+
+
+class TestGeometricInjector:
+    def test_bulk_matches_per_cycle(self):
+        """arrivals_in() consumes the stream exactly like fires()."""
+        a = BernoulliInjector(0.07, random.Random(42))
+        b = BernoulliInjector(0.07, random.Random(42))
+        per_cycle = [t for t in range(5000) if a.fires()]
+        bulk = (b.arrivals_in(0, 1234) + b.arrivals_in(1234, 1235)
+                + b.arrivals_in(1235, 5000))
+        assert per_cycle == bulk
+        assert a.arrivals == b.arrivals
+        assert a._gap == b._gap        # resumable from the same state
+
+    def test_tiny_rate_does_not_divide_by_zero(self):
+        """Regression: rates below float epsilon made log(1-rate) == 0."""
+        inj = BernoulliInjector(1e-17, random.Random(0))
+        assert not inj.fires()
+        assert inj.arrivals_in(0, 10_000) == []
+
+    def test_mix_precompute_matches_generate(self):
+        nets = [build_network("quarc", 8)[0] for _ in range(2)]
+        mixes = [TrafficMix(n, 0.05, 4, beta=0.2, seed=9) for n in nets]
+        for t in range(600):
+            mixes[0].generate(t)
+            nets[0].step(t)
+        by_cycle = mixes[1].precompute_arrivals(0, 600)
+        for t in range(600):
+            for node in by_cycle.get(t, ()):
+                mixes[1].inject(node, t)
+            nets[1].step(t)
+        assert mixes[0].generated_unicasts == mixes[1].generated_unicasts
+        assert mixes[0].generated_broadcasts == mixes[1].generated_broadcasts
+        assert nets[0].flits_moved == nets[1].flits_moved
+        assert nets[0].deliveries == nets[1].deliveries
+
+
+class TestMonotonicTime:
+    def test_lagging_now_is_clamped(self):
+        """Regression: an external clock running behind ``net.cycle``
+        (e.g. attach(sim) after a drain) must not rewind time."""
+        net, _ = build_network("quarc", 8)
+        net.step(10)                   # external fast-forward: fine
+        assert net.cycle == 11
+        net.step(3)                    # lagging now: clamped, not rewound
+        assert net.cycle == 12
+        net.step()
+        assert net.cycle == 13
+
+    def test_drain_after_external_clock_is_nonnegative(self):
+        from repro.sim.engine import Simulator
+        net, _ = build_network("quarc", 8)
+        net.adapters[0].send(Packet(0, 4, 4, UNICAST, created=0), 0)
+        net.run(5)                     # local clock at 5
+        sim = Simulator()              # DES clock starts at 0 (behind!)
+        net.attach(sim)
+        sim.run_until(3)               # would have rewound net.cycle
+        assert net.cycle >= 5
+        cycles = net.drain()
+        assert cycles >= 0
+        assert net.total_flits() == 0
+
+    def test_active_backend_clamps_too(self):
+        net, _ = build_network("quarc", 8)
+        be = ActiveSetBackend(net)
+        be.step(10)
+        assert net.cycle == 11
+        be.step(2)
+        assert net.cycle == 12

@@ -18,7 +18,7 @@ import pytest
 from repro.core.api import build_network
 from repro.core.collector import LatencyCollector
 
-from conftest import drain
+from helpers import drain
 
 
 def run_broadcast(kind, n, size, src=0, **build_kwargs):

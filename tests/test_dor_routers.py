@@ -9,7 +9,7 @@ from repro.noc.packet import Packet, UNICAST
 from repro.topologies.mesh import MeshTopology
 from repro.topologies.torus import TorusTopology
 
-from conftest import drain, send_one
+from helpers import drain, send_one
 
 
 def mesh_router(node=0, n=16):

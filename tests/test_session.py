@@ -1,0 +1,129 @@
+"""Tests for the unified SimulationSession / RunConfig layer and its
+consumers (run_point, parallel sweeps, the CLI ``--backend`` switch)."""
+
+import pytest
+
+from repro.experiments.latency import run_point
+from repro.experiments.sweep import compare_networks, sweep_rates
+from repro.cli import build_parser, main
+from repro.sim.session import RunConfig, SimulationSession, run_config
+from repro.traffic.workload import WorkloadSpec
+
+
+SPEC = WorkloadSpec(kind="quarc", n=8, msg_len=4, beta=0.1,
+                    rate=0.02, cycles=1500, warmup=300, seed=2)
+
+
+class TestRunConfig:
+    def test_defaults_and_with_backend(self):
+        cfg = RunConfig(spec=SPEC)
+        assert cfg.backend == "reference"
+        assert cfg.with_backend("active").backend == "active"
+        assert cfg.with_backend("active").spec is SPEC
+
+    def test_run_config_helper(self):
+        cfg = run_config(SPEC, backend="active", bcast_mode="relay")
+        assert (cfg.backend, cfg.bcast_mode) == ("active", "relay")
+
+    def test_invalid_backend(self):
+        with pytest.raises(ValueError):
+            RunConfig(spec=SPEC, backend="nope")
+
+
+class TestSimulationSession:
+    def test_run_matches_run_point(self):
+        assert SimulationSession(RunConfig(spec=SPEC)).run() == \
+            run_point(SPEC)
+
+    def test_wires_collector_and_backend(self):
+        session = SimulationSession(RunConfig(spec=SPEC, backend="active"))
+        assert session.backend.name == "active"
+        assert session.collector.warmup == SPEC.warmup
+        assert session.net.name == "quarc"
+        assert session.topo.n == SPEC.n
+
+    def test_drain_after_run(self):
+        session = SimulationSession(RunConfig(spec=SPEC, backend="active"))
+        summary = session.run()
+        session.drain()
+        drained = session.summary()
+        assert drained.in_flight_at_end == 0
+        assert drained.delivered_msgs >= summary.delivered_msgs
+
+    def test_summary_before_run_is_empty(self):
+        session = SimulationSession(RunConfig(spec=SPEC))
+        s = session.summary()
+        assert s.generated_msgs == 0 and s.flits_moved == 0
+
+
+class TestParallelSweep:
+    RATES = [0.01, 0.03, 0.05]
+
+    def test_workers_match_serial(self):
+        spec = WorkloadSpec(kind="quarc", n=8, msg_len=4, beta=0.0,
+                            rate=0.0, cycles=1200, warmup=300, seed=4)
+        serial = sweep_rates(spec, self.RATES)
+        parallel = sweep_rates(spec, self.RATES, workers=2)
+        assert serial == parallel
+
+    def test_workers_with_active_backend(self):
+        spec = WorkloadSpec(kind="spidergon", n=8, msg_len=4, beta=0.0,
+                            rate=0.0, cycles=1200, warmup=300, seed=4)
+        serial = sweep_rates(spec, self.RATES, backend="active")
+        parallel = sweep_rates(spec, self.RATES, backend="active",
+                               workers=2)
+        assert serial == parallel
+
+    def test_parallel_truncates_saturated_tail_like_serial(self):
+        spec = WorkloadSpec(kind="spidergon", n=8, msg_len=16, beta=0.0,
+                            rate=0.0, cycles=2500, warmup=500, seed=1)
+        rates = [0.3, 0.4, 0.5, 0.6, 0.7]
+        serial = sweep_rates(spec, rates)
+        parallel = sweep_rates(spec, rates, workers=2)
+        assert len(serial) == len(parallel) == 2
+        assert serial == parallel
+
+
+class TestBackendAcrossDrivers:
+    def test_compare_networks_backend_equivalence(self):
+        kw = dict(rates=[0.01], cycles=1200, warmup=300, seed=9)
+        ref = compare_networks(8, 4, 0.0, **kw)
+        act = compare_networks(8, 4, 0.0, backend="active", **kw)
+        assert ref == act
+
+
+class TestCliBackend:
+    def test_parser_accepts_backend_and_workers(self):
+        args = build_parser().parse_args(
+            ["sweep", "--backend", "active", "--workers", "3"])
+        assert args.backend == "active" and args.workers == 3
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["point", "--rate", "0.01",
+                                       "--backend", "warp"])
+
+    def test_point_with_active_backend(self, capsys):
+        rc = main(["point", "--kind", "quarc", "-n", "8", "-M", "4",
+                   "--rate", "0.01", "--cycles", "1500",
+                   "--warmup", "300", "--backend", "active"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "quarc" in out and "unicast_lat" in out
+
+    def test_sweep_with_active_backend_and_workers(self, capsys, tmp_path):
+        csv_path = str(tmp_path / "sweep.csv")
+        rc = main(["sweep", "-n", "8", "-M", "4", "--beta", "0.0",
+                   "--points", "2", "--cycles", "1200", "--warmup", "300",
+                   "--backend", "active", "--workers", "2",
+                   "--csv", csv_path])
+        assert rc == 0
+        with open(csv_path) as fh:
+            assert "quarc" in fh.read()
+
+    def test_backend_choice_is_output_invariant(self, capsys):
+        argv = ["point", "--kind", "spidergon", "-n", "8", "-M", "4",
+                "--rate", "0.02", "--cycles", "1500", "--warmup", "300"]
+        assert main(argv) == 0
+        ref_out = capsys.readouterr().out
+        assert main(argv + ["--backend", "active"]) == 0
+        act_out = capsys.readouterr().out
+        assert ref_out == act_out

@@ -15,7 +15,7 @@ from repro.noc.packet import Packet, UNICAST
 from repro.topologies import (MeshTopology, QuarcTopology,
                               SpidergonTopology, TorusTopology)
 
-from conftest import drain, send_one
+from helpers import drain, send_one
 
 
 def zero_load_latency(kind, n, src, dst, size):
