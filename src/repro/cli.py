@@ -6,13 +6,29 @@ info
     Topology statistics and analytical saturation for a network.
 sweep
     One latency/load sweep with ASCII plots (a terminal Fig. 9 panel).
-point
-    A single simulation point, printed as a row.
+run / point
+    A single simulation point, printed as a row (``run`` is the primary
+    name; ``point`` is the historical alias).
+scenarios
+    Discover the named workload scenarios (``list``) or inspect one
+    (``show <name>``).
+trace
+    Record a run's arrival train to a JSONL file (``record``) or replay
+    one deterministically (``replay``).
 table1 / fig12
     The area-model artefacts.
 fig9 / fig10 / fig11
     Regenerate a full figure's rows to CSV (same drivers the benchmarks
     use; pass --full for the big grids).
+
+Workload scenarios: ``run``, ``sweep`` and ``trace record`` accept
+``--pattern`` / ``--arrival`` spec strings, e.g.::
+
+    repro run --rate 0.01 --pattern hotspot:node=0,p=0.3 \\
+              --arrival bursty:on=0.25,len=8 --backend active
+    repro scenarios list
+    repro trace record --out run.jsonl --rate 0.01 --arrival bursty
+    repro trace replay --path run.jsonl
 """
 
 from __future__ import annotations
@@ -66,20 +82,75 @@ def build_parser() -> argparse.ArgumentParser:
                             help="parallel processes for independent "
                                  "rate points (default: serial)")
 
+    def add_workload_args(sp):
+        sp.add_argument("--pattern", default="uniform",
+                        help="spatial scenario spec, e.g. "
+                             "'hotspot:node=0,p=0.2' "
+                             "(see: repro scenarios list)")
+        sp.add_argument("--arrival", default="bernoulli",
+                        help="temporal scenario spec, e.g. "
+                             "'bursty:on=0.3,len=8' or "
+                             "'trace:path=run.jsonl'")
+
     sp = sub.add_parser("info", help="topology + analytic model summary")
     add_net_args(sp)
 
     sp = sub.add_parser("sweep", help="latency/load sweep with ASCII plot")
     add_net_args(sp, kinds=False)
     add_engine_args(sp)
+    add_workload_args(sp)
     sp.add_argument("--points", type=int, default=5)
     sp.add_argument("--csv", default="", help="write rows to this CSV")
 
-    sp = sub.add_parser("point", help="one simulation point")
-    add_net_args(sp)
-    add_engine_args(sp, workers=False)
-    sp.add_argument("--rate", type=float, required=True,
+    for cmd, help_ in (("run", "one simulation point"),
+                       ("point", "one simulation point (alias of run)")):
+        sp = sub.add_parser(cmd, help=help_)
+        add_net_args(sp)
+        add_engine_args(sp, workers=False)
+        add_workload_args(sp)
+        sp.add_argument("--rate", type=float, required=True,
+                        help="messages/node/cycle")
+
+    sp = sub.add_parser("scenarios",
+                        help="discover named workload scenarios")
+    sp.add_argument("action", nargs="?", choices=("list", "show"),
+                    default="list")
+    sp.add_argument("name", nargs="?", default="",
+                    help="scenario name (for 'show')")
+
+    sp = sub.add_parser("trace", help="record / replay arrival traces")
+    tsub = sp.add_subparsers(dest="trace_action", required=True)
+
+    tp = tsub.add_parser("record",
+                         help="run a scenario and write its arrival "
+                              "trace as JSONL")
+    add_net_args(tp)
+    add_engine_args(tp, workers=False)
+    add_workload_args(tp)
+    tp.add_argument("--rate", type=float, required=True,
                     help="messages/node/cycle")
+    tp.add_argument("--out", required=True, help="trace output path")
+
+    tp = tsub.add_parser("replay",
+                         help="re-run a recorded trace deterministically "
+                              "(parameters default to the recording's "
+                              "metadata; explicit flags override it)")
+    add_engine_args(tp, workers=False)
+    tp.add_argument("--kind", choices=NETWORK_KINDS, default=None)
+    tp.add_argument("-n", "--nodes", type=int, default=None,
+                    help="node count (must match the trace's)")
+    tp.add_argument("-M", "--msg-len", type=int, default=None)
+    tp.add_argument("--beta", type=float, default=None,
+                    help="broadcast fraction")
+    tp.add_argument("--seed", type=int, default=None)
+    tp.add_argument("--cycles", type=int, default=None)
+    tp.add_argument("--warmup", type=int, default=None)
+    tp.add_argument("--pattern", default=None,
+                    help="spatial scenario spec (default: the "
+                         "recording's pattern; destinations are drawn "
+                         "at replay time, so the recorded pattern + "
+                         "seed give a flit-exact rerun)")
+    tp.add_argument("--path", required=True, help="trace file to replay")
 
     sub.add_parser("table1", help="Table 1: Quarc module slices")
     sub.add_parser("fig12", help="Fig. 12: area vs flit width")
@@ -116,7 +187,8 @@ def _cmd_sweep(args) -> int:
                                rates=rates, cycles=args.cycles,
                                warmup=args.warmup, seed=args.seed,
                                verbose=True, backend=args.backend,
-                               workers=args.workers)
+                               workers=args.workers,
+                               pattern=args.pattern, arrival=args.arrival)
     rows = latency_rows(results,
                         f"N={args.nodes} M={args.msg_len} b={args.beta:g}")
     print()
@@ -134,9 +206,80 @@ def _cmd_sweep(args) -> int:
 def _cmd_point(args) -> int:
     spec = WorkloadSpec(kind=args.kind, n=args.nodes, msg_len=args.msg_len,
                         beta=args.beta, rate=args.rate, cycles=args.cycles,
-                        warmup=args.warmup, seed=args.seed)
+                        warmup=args.warmup, seed=args.seed,
+                        pattern=args.pattern, arrival=args.arrival)
     s = run_point(spec, backend=args.backend)
     print(format_table([s.row()]))
+    return 0
+
+
+def _cmd_scenarios(args) -> int:
+    from repro.workloads import get_scenario, scenario_table
+    if args.action == "show":
+        if not args.name:
+            print("usage: repro scenarios show <name>", file=sys.stderr)
+            return 2
+        info = get_scenario(args.name)
+        print(f"{info.name}  [{info.kind}]")
+        print(f"  {info.summary}")
+        if info.aliases:
+            print(f"  aliases: {', '.join(info.aliases)}")
+        for key, doc in info.params.items():
+            req = " [required]" if key in info.required else ""
+            print(f"  {key:<12s} {doc}{req}")
+        print(f"  example: {info.spec_example()}")
+        return 0
+    print(scenario_table())
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from dataclasses import asdict
+
+    from repro.sim.session import RunConfig, SimulationSession
+    from repro.workloads import Trace, TraceRecorder
+
+    if args.trace_action == "record":
+        spec = WorkloadSpec(kind=args.kind, n=args.nodes,
+                            msg_len=args.msg_len, beta=args.beta,
+                            rate=args.rate, cycles=args.cycles,
+                            warmup=args.warmup, seed=args.seed,
+                            pattern=args.pattern, arrival=args.arrival)
+        session = SimulationSession(
+            RunConfig(spec=spec, backend=args.backend))
+        recorder = TraceRecorder.attach(session.mix,
+                                        meta={"spec": asdict(spec)})
+        summary = session.run()
+        path = recorder.trace().save(args.out)
+        print(format_table([summary.row()]))
+        print(f"[trace] {path} ({len(recorder.events)} arrivals)")
+        if "," in path:
+            print("warning: path contains a comma; 'repro trace replay' "
+                  "and 'trace:path=...' specs will not accept it",
+                  file=sys.stderr)
+        return 0
+
+    # replay: recording metadata supplies the defaults, explicit flags
+    # override (flags default to None, so explicit vs absent is clear)
+    if "," in args.path:
+        print(f"error: trace path {args.path!r} contains a comma, which "
+              f"the scenario spec grammar reserves as the parameter "
+              f"separator; rename or copy the file", file=sys.stderr)
+        return 2
+    trace = Trace.load(args.path)
+    fields = dict(kind="quarc", n=trace.n, msg_len=16, beta=0.05,
+                  rate=0.0, cycles=8000, warmup=2000, seed=1,
+                  pattern="uniform")
+    fields.update(dict(trace.meta.get("spec") or {}))
+    overrides = {"kind": args.kind, "n": args.nodes,
+                 "msg_len": args.msg_len, "beta": args.beta,
+                 "seed": args.seed, "cycles": args.cycles,
+                 "warmup": args.warmup, "pattern": args.pattern}
+    fields.update({k: v for k, v in overrides.items() if v is not None})
+    fields["arrival"] = f"trace:path={args.path}"
+    s = run_point(WorkloadSpec(**fields), backend=args.backend)
+    print(format_table([s.row()]))
+    print(f"[trace] replayed {len(trace)} arrivals from {args.path}")
     return 0
 
 
@@ -158,8 +301,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_info(args)
     if cmd == "sweep":
         return _cmd_sweep(args)
-    if cmd == "point":
+    if cmd in ("run", "point"):
         return _cmd_point(args)
+    if cmd == "scenarios":
+        return _cmd_scenarios(args)
+    if cmd == "trace":
+        return _cmd_trace(args)
     if cmd == "table1":
         print(format_table(run_table1()))
         return 0

@@ -11,6 +11,12 @@ Every point runs through :class:`repro.sim.session.SimulationSession`
 ``backend`` selector and, because rate points are independent
 simulations, an optional process pool (``workers > 1``) that runs them
 in parallel with identical results to the serial path.
+
+Beyond the paper's rate sweeps, :func:`sweep_scenarios` runs a *scenario
+grid* -- the cross product of network kinds x spatial patterns x
+temporal arrival models from :mod:`repro.workloads` -- at one rate
+point, which is what ``benchmarks/bench_scenarios.py`` and the
+scenario-matrix CI job drive.
 """
 
 from __future__ import annotations
@@ -23,7 +29,8 @@ from repro.experiments.latency import run_point
 from repro.sim.records import RunSummary
 from repro.traffic.workload import WorkloadSpec
 
-__all__ = ["default_rates", "sweep_rates", "compare_networks"]
+__all__ = ["default_rates", "sweep_rates", "compare_networks",
+           "sweep_scenarios"]
 
 
 def default_rates(n: int, msg_len: int, beta: float,
@@ -93,12 +100,15 @@ def compare_networks(n: int, msg_len: int, beta: float,
                      seed: int = 1, kinds: Sequence[str] = ("quarc",
                                                             "spidergon"),
                      verbose: bool = False, backend: str = "reference",
-                     workers: int = 1) -> Dict[str, List[RunSummary]]:
+                     workers: int = 1, pattern: str = "uniform",
+                     arrival: str = "bernoulli"
+                     ) -> Dict[str, List[RunSummary]]:
     """The paper's core comparison at one (N, M, beta) configuration.
 
     Both networks see the same seeds (common random numbers), so latency
     differences are attributable to the architecture, not the workload
-    draw.
+    draw.  ``pattern`` / ``arrival`` select the workload scenario (spec
+    strings, see :mod:`repro.workloads.registry`).
     """
     if rates is None:
         rates = default_rates(n, msg_len, beta)
@@ -106,9 +116,41 @@ def compare_networks(n: int, msg_len: int, beta: float,
     for kind in kinds:
         spec = WorkloadSpec(kind=kind, n=n, msg_len=msg_len, beta=beta,
                             rate=0.0, cycles=cycles, warmup=warmup,
-                            seed=seed)
+                            seed=seed, pattern=pattern, arrival=arrival)
         if verbose:  # pragma: no cover
             print(f"[{kind}] N={n} M={msg_len} beta={beta:g}")
         results[kind] = sweep_rates(spec, rates, verbose=verbose,
                                     backend=backend, workers=workers)
     return results
+
+
+def sweep_scenarios(base: WorkloadSpec,
+                    patterns: Sequence[str] = ("uniform",),
+                    arrivals: Sequence[str] = ("bernoulli",),
+                    kinds: Optional[Sequence[str]] = None,
+                    backend: str = "reference", workers: int = 1,
+                    verbose: bool = False) -> List[RunSummary]:
+    """Run the scenario grid ``kinds x patterns x arrivals`` at one
+    rate point (``base.rate``).
+
+    Every cell is ``base`` with its kind/pattern/arrival replaced; the
+    seed is shared, so all cells see common random numbers where the
+    scenario allows it.  Results come back in grid order (kind-major,
+    then pattern, then arrival); each summary carries its scenario in
+    ``extra["pattern"]`` / ``extra["arrival"]``.  With ``workers > 1``
+    the independent cells run in a process pool with identical results.
+    """
+    kinds = list(kinds) if kinds is not None else [base.kind]
+    grid = [base.with_kind(k).with_scenario(pattern=p, arrival=a)
+            for k in kinds for p in patterns for a in arrivals]
+    if workers > 1 and len(grid) > 1:
+        jobs = [(s, backend, {}) for s in grid]
+        with multiprocessing.Pool(min(workers, len(jobs))) as pool:
+            out = pool.map(_run_one, jobs)
+    else:
+        out = [run_point(s, backend=backend) for s in grid]
+    if verbose:  # pragma: no cover - console convenience
+        for s, summary in zip(grid, out):
+            print(f"  {s.label():60s} uni={summary.unicast_mean:8.1f} "
+                  f"{'SAT' if summary.saturated else ''}")
+    return out

@@ -84,6 +84,8 @@ class SimulationSession:
         from repro.core.api import build_network
         from repro.core.collector import LatencyCollector
         from repro.traffic.mix import TrafficMix
+        from repro.workloads.registry import (resolve_arrival,
+                                              resolve_pattern)
 
         self.config = config
         spec = config.spec
@@ -94,7 +96,9 @@ class SimulationSession:
             clone_disabled=config.clone_disabled)
         self.backend: SimBackend = make_backend(config.backend, self.net)
         self.mix = TrafficMix(self.net, spec.rate, spec.msg_len, spec.beta,
-                              seed=spec.seed)
+                              seed=spec.seed,
+                              pattern=resolve_pattern(spec.pattern, spec.n),
+                              arrival=resolve_arrival(spec.arrival))
         self._backlog_mid = 0
 
     # ------------------------------------------------------------------
@@ -155,6 +159,8 @@ class SimulationSession:
         # the equivalence tests rely on.
         summary.extra["relay_segments"] = coll.relay_segments
         summary.extra["measured_cycles"] = spec.cycles - spec.warmup
+        summary.extra["pattern"] = spec.pattern
+        summary.extra["arrival"] = spec.arrival
         return summary
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -3,9 +3,10 @@
 The paper's evaluation drives both NoCs with uniformly-distributed
 unicasts at a swept per-node message rate, with a fraction ``beta`` of
 messages replaced by broadcasts.  :class:`~repro.traffic.mix.TrafficMix`
-reproduces exactly that; the extra spatial patterns (hotspot, transpose,
-bit-complement, neighbour) support the wider test-suite and the
-future-work comparisons.
+reproduces exactly that, and accepts pluggable spatial patterns
+(hotspot, transpose, bit-complement, neighbour, permutation) and
+temporal arrival models (bursty MMPP, trace replay) -- resolved from
+named-scenario spec strings by :mod:`repro.workloads`.
 """
 
 from repro.traffic.generators import (

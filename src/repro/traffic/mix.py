@@ -1,16 +1,19 @@
-"""The paper's traffic mix: uniform unicasts + a broadcast fraction beta.
+"""The paper's traffic mix: pattern-chosen unicasts + a broadcast
+fraction beta, under a pluggable temporal arrival model.
 
-Every cycle, every node flips a Bernoulli(rate) coin; on arrival the
-message becomes a broadcast with probability ``beta`` and a pattern-chosen
-unicast otherwise.  Message length is ``msg_len`` flits for both classes
-(the paper's M).  The mix drives any network built by
+Every cycle, every node's arrival process decides whether a message is
+created (the paper uses an independent Bernoulli(rate) process per node;
+:mod:`repro.workloads.arrivals` adds bursty and trace-replay models); on
+arrival the message becomes a broadcast with probability ``beta`` and a
+pattern-chosen unicast otherwise.  Message length is ``msg_len`` flits
+for both classes (the paper's M).  The mix drives any network built by
 :func:`repro.core.api.build_network` through the adapters' uniform
 ``send`` / ``send_broadcast`` interface.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.noc.packet import Packet, UNICAST
 from repro.sim.rng import RngStreams
@@ -29,24 +32,40 @@ class TrafficMix:
     def __init__(self, net: "Network", rate: float, msg_len: int,
                  beta: float = 0.0, seed: int = 0,
                  pattern: Optional[DestinationPattern] = None,
-                 stop_generating_at: Optional[int] = None):
+                 stop_generating_at: Optional[int] = None,
+                 arrival: Optional[Callable] = None):
         if msg_len < 1:
             raise ValueError(f"message length must be >= 1 flit (got {msg_len})")
         if not 0.0 <= beta <= 1.0:
             raise ValueError(f"beta must be in [0, 1] (got {beta})")
+        nodes = getattr(arrival, "nodes", None)
+        if nodes is not None and nodes != net.n:
+            raise ValueError(
+                f"arrival model {getattr(arrival, 'spec', arrival)!r} is "
+                f"pinned to {nodes} nodes but the network has {net.n}")
         self.net = net
         self.rate = rate
         self.msg_len = msg_len
         self.beta = beta
         self.pattern = pattern or UniformPattern(net.n)
+        #: temporal model: ``arrival(node, rate, rng) -> injector`` with
+        #: the fires()/arrivals_in() block contract (default Bernoulli)
+        self.arrival = arrival
         #: optional drain horizon: no new messages at or after this cycle
         self.stop_generating_at = stop_generating_at
+        #: optional tap fired as ``on_inject(node, now)`` for every
+        #: injected message (the TraceRecorder hook); ``inject`` is the
+        #: single funnel both backends go through, so taps see identical
+        #: event streams whichever engine drives the run
+        self.on_inject: Optional[Callable[[int, int], None]] = None
 
         streams = RngStreams(seed)
         # identical streams for identical seeds => common random numbers
         # across the Quarc/Spidergon comparison (see repro.sim.rng)
+        make = arrival if arrival is not None else (
+            lambda node, r, rng: BernoulliInjector(r, rng))
         self._injectors = [
-            BernoulliInjector(rate, streams.get(f"node{i}.arrivals"))
+            make(i, rate, streams.get(f"node{i}.arrivals"))
             for i in range(net.n)]
         self._class_rng = [streams.get(f"node{i}.class")
                            for i in range(net.n)]
@@ -68,6 +87,8 @@ class TrafficMix:
         the adapter hand-off that :meth:`generate` performs for a firing
         injector.  Exposed so block-based drivers (the active-set backend)
         can replay precomputed arrivals with identical RNG consumption."""
+        if self.on_inject is not None:
+            self.on_inject(node, now)
         if self.beta and self._class_rng[node].random() < self.beta:
             self.net.adapters[node].send_broadcast(self.msg_len, now)
             self.generated_broadcasts += 1

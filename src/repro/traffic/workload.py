@@ -2,16 +2,22 @@
 
 A :class:`WorkloadSpec` is a frozen description of one simulation point --
 network kind, size, message length, broadcast fraction, injection rate,
-horizon and seed -- that the experiment drivers and benchmarks pass
-around, log into CSVs and hash into RNG streams.  Keeping it declarative
-means every figure in EXPERIMENTS.md is reproducible from its parameter
-row alone.
+horizon, seed and workload scenario -- that the experiment drivers and
+benchmarks pass around, log into CSVs and hash into RNG streams.
+Keeping it declarative means every figure in EXPERIMENTS.md is
+reproducible from its parameter row alone.
+
+``pattern`` and ``arrival`` are scenario spec strings resolved by
+:mod:`repro.workloads.registry` (e.g. ``"hotspot:node=0,p=0.2"``,
+``"bursty:on=0.3,len=8"``, ``"trace:path=run.jsonl"``); they are
+validated at construction so a typo fails at the spec, not deep inside a
+run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterator, Sequence
+from typing import Iterator, Optional, Sequence
 
 __all__ = ["WorkloadSpec"]
 
@@ -29,7 +35,8 @@ class WorkloadSpec:
     warmup: int = 3_000       # cycles before measurement starts
     seed: int = 1
     buffer_depth: int = 4
-    pattern: str = "uniform"
+    pattern: str = "uniform"      # spatial scenario spec string
+    arrival: str = "bernoulli"    # temporal scenario spec string
 
     def __post_init__(self) -> None:
         if self.cycles <= self.warmup:
@@ -39,6 +46,11 @@ class WorkloadSpec:
             raise ValueError(f"rate must be non-negative (got {self.rate})")
         if not 0.0 <= self.beta <= 1.0:
             raise ValueError(f"beta must be in [0,1] (got {self.beta})")
+        # Imported lazily: keeps this module importable without pulling
+        # the registry in for consumers that never build a spec.
+        from repro.workloads.registry import ARRIVAL, PATTERN, check_spec
+        check_spec(self.pattern, PATTERN)
+        check_spec(self.arrival, ARRIVAL)
 
     def with_rate(self, rate: float) -> "WorkloadSpec":
         return replace(self, rate=rate)
@@ -50,6 +62,21 @@ class WorkloadSpec:
         for r in rates:
             yield self.with_rate(r)
 
+    def with_scenario(self, pattern: Optional[str] = None,
+                      arrival: Optional[str] = None) -> "WorkloadSpec":
+        """A copy with a different workload scenario."""
+        changes = {}
+        if pattern is not None:
+            changes["pattern"] = pattern
+        if arrival is not None:
+            changes["arrival"] = arrival
+        return replace(self, **changes) if changes else self
+
     def label(self) -> str:
-        return (f"{self.kind} N={self.n} M={self.msg_len} "
+        base = (f"{self.kind} N={self.n} M={self.msg_len} "
                 f"beta={self.beta:g} rate={self.rate:g}")
+        if self.pattern != "uniform":
+            base += f" pat={self.pattern}"
+        if self.arrival != "bernoulli":
+            base += f" arr={self.arrival}"
+        return base

@@ -1,0 +1,59 @@
+"""Named workload scenarios: spatial patterns x temporal arrival models.
+
+The paper's figures use one workload (uniform unicasts plus a broadcast
+fraction beta); this package generalises the simulator into a NoC
+workload harness.  A *scenario* is resolved from a compact spec string::
+
+    from repro.workloads import resolve_pattern, resolve_arrival
+    pattern = resolve_pattern("hotspot:node=0,p=0.2", n=16)
+    arrival = resolve_arrival("bursty:on=0.3,len=8")
+
+and plugs straight into :class:`~repro.traffic.mix.TrafficMix` -- or,
+one level up, rides inside a declarative
+:class:`~repro.traffic.workload.WorkloadSpec` (``pattern=`` /
+``arrival=`` fields) through :class:`~repro.sim.session.SimulationSession`,
+the CLI (``--pattern`` / ``--arrival``, ``repro scenarios``,
+``repro trace``), sweep grids and benchmarks.
+
+Modules
+-------
+:mod:`repro.workloads.registry`
+    The scenario registry, spec-string grammar and resolvers.
+:mod:`repro.workloads.arrivals`
+    Temporal models beyond Bernoulli: on/off bursty (MMPP) and
+    deterministic trace replay, both honouring the
+    ``fires()``/``arrivals_in()`` block contract the active backend's
+    idle fast-forward relies on.
+:mod:`repro.workloads.trace`
+    The JSONL trace format, :class:`~repro.workloads.trace.TraceRecorder`
+    and :class:`~repro.workloads.trace.Trace` record/replay.
+"""
+
+from repro.workloads.arrivals import BurstyInjector, TraceInjector
+from repro.workloads.registry import (ARRIVAL, PATTERN, ArrivalModel,
+                                      ScenarioInfo, check_spec,
+                                      get_scenario, list_scenarios,
+                                      parse_spec, register_scenario,
+                                      resolve_arrival, resolve_pattern,
+                                      scenario_table)
+from repro.workloads.trace import TRACE_FORMAT, Trace, TraceRecorder
+
+__all__ = [
+    "ARRIVAL",
+    "PATTERN",
+    "ArrivalModel",
+    "BurstyInjector",
+    "ScenarioInfo",
+    "TRACE_FORMAT",
+    "Trace",
+    "TraceInjector",
+    "TraceRecorder",
+    "check_spec",
+    "get_scenario",
+    "list_scenarios",
+    "parse_spec",
+    "register_scenario",
+    "resolve_arrival",
+    "resolve_pattern",
+    "scenario_table",
+]

@@ -1,0 +1,358 @@
+"""The scenario registry: compact spec strings -> workload components.
+
+A *scenario* is a named spatial destination pattern or temporal arrival
+model, selectable from a one-line spec string::
+
+    uniform                      hotspot:node=0,p=0.2
+    transpose                    bursty:on=0.3,len=8
+    bit-complement               trace:path=run.jsonl
+    neighbour                    bernoulli
+    permutation:seed=3
+
+Grammar: ``name[:key=value[,key=value...]]``.  Values are coerced to
+int, float or bool when they look like one, else kept as strings (so
+``path=run.jsonl`` survives).  Names and keys are case-insensitive;
+common spelling aliases are registered (``neighbor``,
+``bit_complement``/``bitcomp``, ``poisson``).
+
+The registry is discoverable (:func:`list_scenarios` powers ``repro
+scenarios list``) and extensible (:func:`register_scenario`), in the
+style of rule registries in validation engines: adding a scenario here
+makes it reachable from every layer above -- ``WorkloadSpec``,
+``SimulationSession``, the CLI flags, sweep grids and benchmarks -- with
+no further wiring.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.traffic.generators import (BernoulliInjector,
+                                      BitComplementPattern,
+                                      DestinationPattern, HotspotPattern,
+                                      NeighbourPattern, PermutationPattern,
+                                      TransposePattern, UniformPattern)
+from repro.workloads.arrivals import BurstyInjector, TraceInjector
+from repro.workloads.trace import Trace
+
+__all__ = ["ScenarioInfo", "ArrivalModel", "parse_spec", "list_scenarios",
+           "register_scenario", "get_scenario", "check_spec",
+           "resolve_pattern", "resolve_arrival", "scenario_table"]
+
+PATTERN = "pattern"
+ARRIVAL = "arrival"
+
+
+@dataclass(frozen=True)
+class ScenarioInfo:
+    """Registry metadata for one named scenario."""
+
+    name: str
+    kind: str                       # PATTERN | ARRIVAL
+    summary: str
+    params: Dict[str, str] = field(default_factory=dict)  # key -> doc
+    required: Tuple[str, ...] = ()
+    aliases: Tuple[str, ...] = ()
+    #: params whose values stay raw strings (never int/float/bool
+    #: coerced), e.g. file paths that merely *look* numeric ("1e5")
+    string_params: Tuple[str, ...] = ()
+    #: pattern: build(n, **params) -> DestinationPattern
+    #: arrival: build(**params) -> ArrivalModel
+    build: Callable = None          # type: ignore[assignment]
+
+    def spec_example(self) -> str:
+        if not self.params:
+            return self.name
+        return self.name + ":" + ",".join(
+            f"{k}=<{k}>" for k in self.params)
+
+
+class ArrivalModel:
+    """A resolved temporal model: one injector factory for all nodes.
+
+    Callable as ``model(node, rate, rng) -> injector`` -- the signature
+    :class:`~repro.traffic.mix.TrafficMix` expects.  ``nodes`` is the
+    node count the model is pinned to (trace replay), or ``None`` for
+    size-agnostic stochastic models.
+    """
+
+    def __init__(self, name: str, spec: str,
+                 make: Callable[[int, float, random.Random], object],
+                 nodes: Optional[int] = None):
+        self.name = name
+        self.spec = spec
+        self.nodes = nodes
+        self._make = make
+
+    def __call__(self, node: int, rate: float,
+                 rng: random.Random) -> object:
+        return self._make(node, rate, rng)
+
+    def __repr__(self) -> str:   # pragma: no cover - debugging aid
+        return f"<ArrivalModel {self.spec!r}>"
+
+
+_REGISTRY: Dict[str, ScenarioInfo] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_scenario(info: ScenarioInfo) -> ScenarioInfo:
+    """Add a scenario (and its aliases) to the registry.
+
+    Lookup is case-insensitive, so names and aliases are stored
+    lower-cased -- a scenario registered as ``"AllReduce"`` is reachable
+    as ``"allreduce"`` (and any other casing)."""
+    for key in (info.name,) + info.aliases:
+        key = key.lower()
+        if key in _REGISTRY or key in _ALIASES:
+            raise ValueError(f"scenario name {key!r} already registered")
+    _REGISTRY[info.name.lower()] = info
+    for alias in info.aliases:
+        _ALIASES[alias.lower()] = info.name.lower()
+    return info
+
+
+def list_scenarios(kind: Optional[str] = None) -> List[ScenarioInfo]:
+    """All registered scenarios, optionally filtered by kind."""
+    infos = [i for i in _REGISTRY.values()
+             if kind is None or i.kind == kind]
+    return sorted(infos, key=lambda i: (i.kind, i.name))
+
+
+def get_scenario(name: str, kind: Optional[str] = None) -> ScenarioInfo:
+    """Look up one scenario by canonical name or alias."""
+    key = name.lower()
+    info = _REGISTRY.get(key) or _REGISTRY.get(_ALIASES.get(key, ""))
+    if info is None:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown scenario {name!r}; known: {known}")
+    if kind is not None and info.kind != kind:
+        raise ValueError(
+            f"scenario {info.name!r} is a {info.kind} scenario, "
+            f"not usable as a {kind}")
+    return info
+
+
+# ----------------------------------------------------------------------
+# spec-string grammar
+# ----------------------------------------------------------------------
+def _coerce(text: str) -> object:
+    low = text.lower()
+    if low in ("true", "false"):
+        return low == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _split_spec(spec: str) -> Tuple[str, Dict[str, str]]:
+    """Split ``"name:key=value,..."`` into ``(name, raw-string params)``.
+
+    Note the grammar's one hard limit: ``,`` separates parameters, so
+    values (e.g. trace paths) cannot contain commas.
+    """
+    if not isinstance(spec, str) or not spec.strip():
+        raise ValueError(f"empty scenario spec {spec!r}")
+    name, sep, rest = spec.strip().partition(":")
+    name = name.strip().lower()
+    if not name:
+        raise ValueError(f"scenario spec {spec!r} has no name")
+    params: Dict[str, str] = {}
+    if sep and rest.strip():
+        for item in rest.split(","):
+            key, eq, value = item.partition("=")
+            key = key.strip().lower()
+            if not eq or not key or not value.strip():
+                raise ValueError(
+                    f"bad parameter {item!r} in scenario spec {spec!r}; "
+                    f"expected key=value")
+            if key in params:
+                raise ValueError(
+                    f"duplicate parameter {key!r} in scenario spec "
+                    f"{spec!r}")
+            params[key] = value.strip()
+    return name, params
+
+
+def parse_spec(spec: str) -> Tuple[str, Dict[str, object]]:
+    """Split ``"name:key=value,..."`` into ``(name, params)``.
+
+    Values are coerced (int/float/bool where unambiguous).  Raises
+    :class:`ValueError` on empty names, missing ``=`` or duplicate keys.
+    """
+    name, raw = _split_spec(spec)
+    return name, {k: _coerce(v) for k, v in raw.items()}
+
+
+def _resolve(spec: str, kind: str
+             ) -> Tuple[ScenarioInfo, Dict[str, object]]:
+    """Look up + validate a spec and coerce its parameter values,
+    honouring the scenario's ``string_params`` (kept raw)."""
+    name, raw = _split_spec(spec)
+    info = get_scenario(name, kind)
+    unknown = set(raw) - set(info.params)
+    if unknown:
+        accepted = ", ".join(sorted(info.params)) or "(none)"
+        raise ValueError(
+            f"unknown parameter(s) {sorted(unknown)} for scenario "
+            f"{info.name!r}; accepted: {accepted}")
+    missing = [k for k in info.required if k not in raw]
+    if missing:
+        raise ValueError(
+            f"scenario {info.name!r} requires parameter(s) {missing} "
+            f"(e.g. {info.spec_example()!r})")
+    params = {k: (v if k in info.string_params else _coerce(v))
+              for k, v in raw.items()}
+    return info, params
+
+
+def check_spec(spec: str, kind: str) -> ScenarioInfo:
+    """Validate a spec string (name, kind, parameter names) without
+    building anything -- no file access, no network size needed.  Used
+    by :class:`~repro.traffic.workload.WorkloadSpec` for early errors."""
+    return _resolve(spec, kind)[0]
+
+
+def resolve_pattern(spec: str, n: int) -> DestinationPattern:
+    """Build the destination pattern a spec string names, for ``n`` nodes."""
+    info, params = _resolve(spec, PATTERN)
+    return info.build(n, **params)
+
+
+def resolve_arrival(spec: str) -> ArrivalModel:
+    """Build the arrival model a spec string names."""
+    info, params = _resolve(spec, ARRIVAL)
+    model = info.build(**params)
+    model.spec = spec.strip()
+    return model
+
+
+def scenario_table() -> str:
+    """A human-readable listing for ``repro scenarios list``."""
+    lines = []
+    for kind, title in ((PATTERN, "Spatial destination patterns"),
+                        (ARRIVAL, "Temporal arrival models")):
+        lines.append(f"{title}:")
+        for info in list_scenarios(kind):
+            alias = (f"  (aliases: {', '.join(info.aliases)})"
+                     if info.aliases else "")
+            lines.append(f"  {info.name:<16s} {info.summary}{alias}")
+            for key, doc in info.params.items():
+                req = " [required]" if key in info.required else ""
+                lines.append(f"      {key:<12s} {doc}{req}")
+        lines.append("")
+    lines.append("Spec grammar: name[:key=value[,key=value...]], e.g. "
+                 "'hotspot:node=0,p=0.2' or 'bursty:on=0.3,len=8'.")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# built-in scenarios
+# ----------------------------------------------------------------------
+def _build_uniform(n: int) -> DestinationPattern:
+    return UniformPattern(n)
+
+
+def _build_hotspot(n: int, node: int = 0, p: float = 0.2
+                   ) -> DestinationPattern:
+    return HotspotPattern(n, hotspot=node, p=p)
+
+
+def _build_transpose(n: int) -> DestinationPattern:
+    return TransposePattern(n)
+
+
+def _build_bit_complement(n: int) -> DestinationPattern:
+    return BitComplementPattern(n)
+
+
+def _build_neighbour(n: int) -> DestinationPattern:
+    return NeighbourPattern(n)
+
+
+def _build_permutation(n: int, seed: int = 0) -> DestinationPattern:
+    return PermutationPattern(n, seed=seed)
+
+
+def _build_bernoulli() -> ArrivalModel:
+    return ArrivalModel(
+        "bernoulli", "bernoulli",
+        lambda node, rate, rng: BernoulliInjector(rate, rng))
+
+
+def _build_bursty(on: float = 0.3, **kw) -> ArrivalModel:
+    burst_len = kw.pop("len", 8)
+    if kw:
+        raise ValueError(f"unknown bursty parameter(s) {sorted(kw)}")
+    return ArrivalModel(
+        "bursty", f"bursty:on={on},len={burst_len}",
+        lambda node, rate, rng: BurstyInjector(
+            rate, rng, on_frac=on, burst_len=burst_len))
+
+
+def _build_trace(path: str) -> ArrivalModel:
+    trace = Trace.load(str(path))
+    per_node = trace.per_node()
+    return ArrivalModel(
+        "trace", f"trace:path={path}",
+        lambda node, rate, rng: TraceInjector(per_node[node]),
+        nodes=trace.n)
+
+
+register_scenario(ScenarioInfo(
+    name="uniform", kind=PATTERN,
+    summary="uniformly random destination != source (the paper's workload)",
+    build=_build_uniform))
+register_scenario(ScenarioInfo(
+    name="hotspot", kind=PATTERN,
+    summary="probability p of targeting one hot node, else uniform",
+    params={"node": "the hotspot node id (default 0)",
+            "p": "probability of targeting it (default 0.2)"},
+    build=_build_hotspot))
+register_scenario(ScenarioInfo(
+    name="transpose", kind=PATTERN,
+    summary="bit-transpose adversarial pattern (power-of-two N)",
+    build=_build_transpose))
+register_scenario(ScenarioInfo(
+    name="bit-complement", kind=PATTERN,
+    summary="dst = ~src, every message crosses the centre (power-of-two N)",
+    aliases=("bit_complement", "bitcomp"),
+    build=_build_bit_complement))
+register_scenario(ScenarioInfo(
+    name="neighbour", kind=PATTERN,
+    summary="dst = src+1 mod N, pure nearest-neighbour rim traffic",
+    aliases=("neighbor",),
+    build=_build_neighbour))
+register_scenario(ScenarioInfo(
+    name="permutation", kind=PATTERN,
+    summary="a fixed random derangement: each node targets one partner",
+    params={"seed": "derangement seed (default 0)"},
+    build=_build_permutation))
+
+register_scenario(ScenarioInfo(
+    name="bernoulli", kind=ARRIVAL,
+    summary="independent Bernoulli(rate) arrivals per node (the default)",
+    aliases=("poisson",),
+    build=_build_bernoulli))
+register_scenario(ScenarioInfo(
+    name="bursty", kind=ARRIVAL,
+    summary="on/off MMPP: geometric bursts at elevated rate, then silence",
+    params={"on": "stationary ON fraction in (0,1) (default 0.3)",
+            "len": "mean burst length in cycles (default 8)"},
+    build=_build_bursty))
+register_scenario(ScenarioInfo(
+    name="trace", kind=ARRIVAL,
+    summary="deterministic replay of a recorded JSONL arrival trace",
+    params={"path": "trace file written by 'repro trace record' "
+                    "(commas cannot appear in the path)"},
+    required=("path",),
+    string_params=("path",),
+    build=_build_trace))

@@ -1,0 +1,154 @@
+"""Arrival-trace record and replay (JSONL).
+
+A trace pins the *temporal* half of a workload: which node injected a
+message at which cycle.  Spatial choices (destinations, the
+broadcast/unicast coin) are not recorded -- they are drawn from their own
+named RNG streams at injection time, so replaying a trace with the same
+seed and pattern reproduces the original run flit-for-flit, while
+replaying with a different pattern re-asks "what if the same arrival
+process hit a different spatial distribution?".
+
+Format (``repro-trace/v1``)
+---------------------------
+Line-oriented JSON, one object per line:
+
+* line 1, the header::
+
+      {"format": "repro-trace/v1", "n": 16, "meta": {...}}
+
+  ``n`` is the node count the trace was recorded on (replay networks
+  must match); ``meta`` is free-form provenance (source scenario, rate,
+  seed, horizon).
+* every further line, one arrival::
+
+      {"t": 1042, "node": 3}
+
+  sorted by ``(t, node)`` -- the order the simulator injects in.
+
+Record with :class:`TraceRecorder` (hooks
+:attr:`repro.traffic.mix.TrafficMix.on_inject`, so both backends record
+identically), replay through the ``"trace:path=..."`` arrival scenario
+(:mod:`repro.workloads.registry`), which hands each node a
+:class:`~repro.workloads.arrivals.TraceInjector`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["TRACE_FORMAT", "Trace", "TraceRecorder"]
+
+TRACE_FORMAT = "repro-trace/v1"
+
+
+@dataclass
+class Trace:
+    """An in-memory arrival trace: node count + sorted (cycle, node) events."""
+
+    n: int
+    events: List[Tuple[int, int]] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"trace needs n >= 1 nodes (got {self.n})")
+        for t, node in self.events:
+            if not 0 <= node < self.n:
+                raise ValueError(
+                    f"trace event node {node} out of range for n={self.n}")
+            if t < 0:
+                raise ValueError(f"trace event cycle {t} is negative")
+        self.events.sort()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def per_node(self) -> List[List[int]]:
+        """Arrival cycles split per node (ascending), length ``n``."""
+        out: List[List[int]] = [[] for _ in range(self.n)]
+        for t, node in self.events:
+            out[node].append(t)
+        return out
+
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> str:
+        """Write the JSONL file; returns ``path``."""
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"format": TRACE_FORMAT, "n": self.n,
+                                 "meta": self.meta}) + "\n")
+            for t, node in self.events:
+                fh.write(f'{{"t": {t}, "node": {node}}}\n')
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        """Read and validate a JSONL trace file."""
+        with open(path) as fh:
+            header_line = fh.readline()
+            try:
+                header = json.loads(header_line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}: first line is not a JSON header: {exc}"
+                ) from None
+            if (not isinstance(header, dict)
+                    or header.get("format") != TRACE_FORMAT):
+                raise ValueError(
+                    f"{path}: not a {TRACE_FORMAT} trace "
+                    f"(header {header_line.strip()!r})")
+            n = header.get("n")
+            if not isinstance(n, int) or n < 1:
+                raise ValueError(f"{path}: header 'n' must be a positive "
+                                 f"integer (got {n!r})")
+            events: List[Tuple[int, int]] = []
+            for lineno, line in enumerate(fh, start=2):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    ev = json.loads(line)
+                    events.append((int(ev["t"]), int(ev["node"])))
+                except (json.JSONDecodeError, KeyError, TypeError,
+                        ValueError):
+                    raise ValueError(
+                        f"{path}:{lineno}: bad trace event {line!r}; "
+                        f'expected {{"t": <cycle>, "node": <node>}}'
+                    ) from None
+        return cls(n=n, events=events,
+                   meta=dict(header.get("meta") or {}))
+
+
+class TraceRecorder:
+    """Captures every injection of a :class:`~repro.traffic.mix.TrafficMix`.
+
+    >>> recorder = TraceRecorder.attach(session.mix)   # doctest: +SKIP
+    >>> session.run()                                  # doctest: +SKIP
+    >>> recorder.trace().save("run.jsonl")             # doctest: +SKIP
+
+    ``TrafficMix.inject`` is the single funnel both backends go through
+    (the reference loop via ``generate``, the active backend directly
+    when replaying precomputed blocks), so the recorded train is
+    backend-independent.
+    """
+
+    def __init__(self, n: int, meta: Optional[Dict[str, object]] = None):
+        self.n = n
+        self.meta: Dict[str, object] = dict(meta or {})
+        self.events: List[Tuple[int, int]] = []
+
+    def note(self, node: int, now: int) -> None:
+        """The ``on_inject`` callback: one message entered at ``node``."""
+        self.events.append((now, node))
+
+    def trace(self) -> Trace:
+        return Trace(n=self.n, events=sorted(self.events), meta=self.meta)
+
+    @classmethod
+    def attach(cls, mix, meta: Optional[Dict[str, object]] = None
+               ) -> "TraceRecorder":
+        """Create a recorder and install it as ``mix.on_inject``."""
+        rec = cls(n=mix.net.n, meta=meta)
+        mix.on_inject = rec.note
+        return rec

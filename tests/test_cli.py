@@ -61,3 +61,89 @@ class TestCommands:
         assert "unicast_lat" in out
         with open(csv_path) as fh:
             assert "quarc" in fh.read()
+
+
+class TestScenarioCommands:
+    RUN = ["-n", "8", "-M", "4", "--cycles", "1200", "--warmup", "300",
+           "--rate", "0.02"]
+
+    def test_run_is_point_alias_with_scenarios(self, capsys):
+        rc = main(["run", "--kind", "quarc"] + self.RUN
+                  + ["--pattern", "hotspot:node=0,p=0.3",
+                     "--arrival", "bursty:on=0.25,len=8"])
+        assert rc == 0
+        assert "unicast_lat" in capsys.readouterr().out
+
+    def test_run_backend_invariant_under_scenarios(self, capsys):
+        """The ISSUE acceptance command: active == reference output."""
+        argv = (["run", "--kind", "quarc"] + self.RUN
+                + ["--pattern", "hotspot:p=0.3",
+                   "--arrival", "bursty:on=0.25,len=8"])
+        assert main(argv + ["--backend", "reference"]) == 0
+        ref_out = capsys.readouterr().out
+        assert main(argv + ["--backend", "active"]) == 0
+        assert capsys.readouterr().out == ref_out
+
+    def test_scenarios_list(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("uniform", "hotspot", "transpose", "bit-complement",
+                     "neighbour", "permutation", "bernoulli", "bursty",
+                     "trace"):
+            assert name in out
+
+    def test_scenarios_show(self, capsys):
+        assert main(["scenarios", "show", "bursty"]) == 0
+        out = capsys.readouterr().out
+        assert "bursty" in out and "on" in out and "len" in out
+        assert main(["scenarios", "show"]) == 2
+
+    def test_bad_scenario_spec_fails_loud(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            main(["run", "--kind", "quarc"] + self.RUN
+                 + ["--pattern", "whirlpool"])
+
+    def test_sweep_accepts_scenarios(self, capsys, tmp_path):
+        csv_path = str(tmp_path / "s.csv")
+        rc = main(["sweep", "-n", "8", "-M", "4", "--beta", "0.0",
+                   "--points", "1", "--cycles", "1200", "--warmup", "300",
+                   "--pattern", "neighbour", "--arrival",
+                   "bursty:on=0.3,len=6", "--csv", csv_path])
+        assert rc == 0
+        with open(csv_path) as fh:
+            assert "quarc" in fh.read()
+
+    def test_trace_record_then_replay_matches(self, capsys, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        rc = main(["trace", "record", "--kind", "quarc"] + self.RUN
+                  + ["--arrival", "bursty:on=0.3,len=6", "--out", path,
+                     "--backend", "active"])
+        assert rc == 0
+        record_out = capsys.readouterr().out
+        assert "[trace]" in record_out
+
+        rc = main(["trace", "replay", "--path", path])
+        assert rc == 0
+        replay_out = capsys.readouterr().out
+        # identical summary row: the replay reproduces the recorded run
+        assert record_out.splitlines()[:3] == replay_out.splitlines()[:3]
+        assert "replayed" in replay_out
+
+    def test_trace_replay_honours_explicit_flags(self, capsys, tmp_path):
+        """Regression: explicit flags must override the recording's
+        metadata, not be silently discarded."""
+        path = str(tmp_path / "run.jsonl")
+        assert main(["trace", "record", "--kind", "quarc"] + self.RUN
+                    + ["--out", path]) == 0
+        capsys.readouterr()
+        assert main(["trace", "replay", "--path", path,
+                     "--kind", "spidergon", "--seed", "42"]) == 0
+        out = capsys.readouterr().out
+        assert "spidergon" in out
+
+    def test_trace_replay_rejects_comma_paths(self, capsys, tmp_path):
+        bad_dir = tmp_path / "a,b"
+        bad_dir.mkdir()
+        path = str(bad_dir / "run.jsonl")
+        assert main(["trace", "replay", "--path", path]) == 2
+        assert "comma" in capsys.readouterr().err

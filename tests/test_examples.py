@@ -1,0 +1,76 @@
+"""Smoke-run every example script with shrunken horizons.
+
+The examples are the documentation's executable half; since the port
+onto ``SimulationSession`` + scenario specs they all share the library's
+real entry points, so a cheap run of each one guards the public API
+surface (build_network, adapters, backends, sessions, scenario specs)
+against drift.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        _load("quickstart").main(cycles=1200, warmup=300)
+        out = capsys.readouterr().out
+        assert "network drained" in out
+        assert "scenario run" in out
+        assert "hotspot" in out
+
+    def test_latency_sweep(self, capsys):
+        _load("latency_sweep").main(cycles=1200, warmup=300, points=2)
+        out = capsys.readouterr().out
+        assert "unicast_lat" in out
+        assert "latency vs offered load" in out
+
+    def test_latency_sweep_accepts_scenarios(self, capsys):
+        _load("latency_sweep").main(cycles=1200, warmup=300, points=1,
+                                    pattern="neighbour",
+                                    arrival="bursty:on=0.3,len=6")
+        out = capsys.readouterr().out
+        assert "pattern=neighbour" in out
+
+    def test_multicast_demo(self, capsys):
+        _load("multicast_demo").main()
+        out = capsys.readouterr().out
+        assert "completed in" in out
+        assert "decoded:" in out
+
+    def test_mesh_torus_comparison(self, capsys):
+        _load("mesh_torus_comparison").main(cycles=1500, warmup=400)
+        out = capsys.readouterr().out
+        for kind in ("quarc", "spidergon", "mesh", "torus"):
+            assert kind in out
+        assert "slower" in out
+
+    def test_cache_coherence(self, capsys):
+        _load("cache_coherence").main(n=8, cycles=1500, warmup=400)
+        out = capsys.readouterr().out
+        assert "cache-coherence workload on 8 cores" in out
+        assert "quarc" in out and "spidergon" in out
+
+    @pytest.mark.parametrize("name", ["quickstart", "latency_sweep",
+                                      "multicast_demo",
+                                      "mesh_torus_comparison",
+                                      "cache_coherence"])
+    def test_example_exposes_main(self, name):
+        assert callable(_load(name).main)

@@ -4,7 +4,8 @@ consumers (run_point, parallel sweeps, the CLI ``--backend`` switch)."""
 import pytest
 
 from repro.experiments.latency import run_point
-from repro.experiments.sweep import compare_networks, sweep_rates
+from repro.experiments.sweep import (compare_networks, sweep_rates,
+                                     sweep_scenarios)
 from repro.cli import build_parser, main
 from repro.sim.session import RunConfig, SimulationSession, run_config
 from repro.traffic.workload import WorkloadSpec
@@ -89,6 +90,46 @@ class TestBackendAcrossDrivers:
         kw = dict(rates=[0.01], cycles=1200, warmup=300, seed=9)
         ref = compare_networks(8, 4, 0.0, **kw)
         act = compare_networks(8, 4, 0.0, backend="active", **kw)
+        assert ref == act
+
+    def test_compare_networks_accepts_scenarios(self):
+        res = compare_networks(8, 4, 0.0, rates=[0.02], cycles=1200,
+                               warmup=300, seed=9, pattern="neighbour",
+                               arrival="bursty:on=0.3,len=6")
+        for summaries in res.values():
+            assert summaries[0].extra["pattern"] == "neighbour"
+            assert summaries[0].delivered_msgs > 0
+
+
+class TestScenarioGrid:
+    BASE = WorkloadSpec(kind="quarc", n=8, msg_len=4, beta=0.0,
+                        rate=0.02, cycles=1000, warmup=250, seed=6)
+    PATTERNS = ["uniform", "neighbour"]
+    ARRIVALS = ["bernoulli", "bursty:on=0.3,len=6"]
+
+    def test_grid_order_and_labels(self):
+        out = sweep_scenarios(self.BASE, patterns=self.PATTERNS,
+                              arrivals=self.ARRIVALS,
+                              kinds=["quarc", "spidergon"])
+        assert len(out) == 2 * 2 * 2
+        got = [(s.noc, s.extra["pattern"], s.extra["arrival"])
+               for s in out]
+        expect = [(k, p, a) for k in ("quarc", "spidergon")
+                  for p in self.PATTERNS for a in self.ARRIVALS]
+        assert got == expect
+
+    def test_workers_match_serial(self):
+        serial = sweep_scenarios(self.BASE, patterns=self.PATTERNS,
+                                 arrivals=self.ARRIVALS)
+        parallel = sweep_scenarios(self.BASE, patterns=self.PATTERNS,
+                                   arrivals=self.ARRIVALS, workers=2)
+        assert serial == parallel
+
+    def test_backend_equivalence_across_grid(self):
+        ref = sweep_scenarios(self.BASE, patterns=self.PATTERNS,
+                              arrivals=self.ARRIVALS)
+        act = sweep_scenarios(self.BASE, patterns=self.PATTERNS,
+                              arrivals=self.ARRIVALS, backend="active")
         assert ref == act
 
 
