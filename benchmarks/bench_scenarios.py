@@ -6,9 +6,9 @@ beta).  This benchmark drives the :mod:`repro.workloads` scenario grid
 both architectures and
 
 * emits the comparison table + CSV (``results/bench_scenarios.csv``);
-* verifies the ``active`` backend stays **summary-identical** to
-  ``reference`` on every cell (the injector seam must not perturb the
-  idle fast-forward on any scenario);
+* verifies every optimized backend (``active``, ``array``) stays
+  **summary-identical** to ``reference`` on every cell (neither the
+  injector seam nor the batched kernel may perturb a single scenario);
 * asserts basic sanity: every cell delivers traffic, and the hotspot
   pattern degrades (or at best matches) uniform latency on both NoCs.
 
@@ -73,18 +73,24 @@ def matrix_rows(summaries: List[RunSummary]) -> List[Dict[str, object]]:
 def check_equivalence(smoke: bool,
                       reference: Optional[List[RunSummary]] = None,
                       workers: int = 1) -> List[str]:
-    """Reference vs active on every cell; returns failure messages.
+    """Reference vs every optimized backend on every cell; returns
+    failure messages.
 
     Pass an already-computed ``reference`` matrix to avoid re-running
     it (``main`` reuses its report rows)."""
+    from repro.sim.backend import BACKENDS
     failures = []
     ref = reference if reference is not None else run_matrix(
         smoke=smoke, backend="reference", workers=workers)
-    act = run_matrix(smoke=smoke, backend="active", workers=workers)
-    for r, a in zip(ref, act):
-        label = f"{r.noc} {r.extra['pattern']} {r.extra['arrival']}"
-        if r != a:
-            failures.append(f"{label}: backends disagree")
+    for backend in sorted(BACKENDS):
+        if backend == "reference":
+            continue
+        got = run_matrix(smoke=smoke, backend=backend, workers=workers)
+        for r, a in zip(ref, got):
+            label = (f"{r.noc} {r.extra['pattern']} "
+                     f"{r.extra['arrival']} [{backend}]")
+            if r != a:
+                failures.append(f"{label}: backends disagree")
     return failures
 
 

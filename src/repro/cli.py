@@ -75,8 +75,10 @@ def build_parser() -> argparse.ArgumentParser:
     def add_engine_args(sp, workers=True):
         sp.add_argument("--backend", choices=sorted(BACKENDS),
                         default="reference",
-                        help="simulation engine (active = optimized "
-                             "active-set fast path, identical results)")
+                        help="simulation engine, identical results: "
+                             "active = active-set fast path (idle-heavy "
+                             "loads), array = batched numpy kernel with "
+                             "sparse fallback (near-saturation sweeps)")
         if workers:
             sp.add_argument("--workers", type=int, default=1,
                             help="parallel processes for independent "

@@ -97,7 +97,8 @@ class FlitBuffer:
             raise OverflowError(
                 f"flit pushed into full buffer {self.label!r} "
                 f"(capacity {self.capacity})")
-        if not q:
+        was_empty = not q
+        if was_empty:
             for p in self.fed:
                 p.live_feeders += 1
         q.append((packet, flit_index))
@@ -105,13 +106,21 @@ class FlitBuffer:
         if r is not None:
             f = r.flits
             r.flits = f + 1
-            if not f:
-                # 0 -> 1 transition: the router just became active.  The
-                # wake_set is None unless an active-set backend installed
-                # one, so the reference path pays only this branch.
-                net = r.net
-                if net is not None and net.wake_set is not None:
+            net = r.net
+            if net is not None:
+                if not f and net.wake_set is not None:
+                    # 0 -> 1 transition: the router just became active
+                    # (active-set backend hook; None costs one test).
                     net.wake_set.add(r)
+                sink = net.push_sink
+                if sink is not None:
+                    # array-backend state export: every push is logged so
+                    # flat occupancy mirrors can be refreshed lazily, and
+                    # empty -> nonempty transitions (a new head flit,
+                    # whose route must be recomputed) separately.
+                    sink.append(self)
+                    if was_empty:
+                        net.head_sink.append(self)
 
     def head(self) -> Optional[Tuple["Packet", int]]:
         return self.q[0] if self.q else None

@@ -12,12 +12,13 @@ the two-phase semantics.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Set, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Set, TYPE_CHECKING
 
 from repro.noc.ports import Move
 from repro.noc.router import Router, commit_move
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.buffers import FlitBuffer
     from repro.noc.packet import Packet
     from repro.sim.engine import Simulator
 
@@ -81,6 +82,16 @@ class Network:
         #: whose flit count transitions 0 -> 1, so the backend only ever
         #: visits routers that can possibly move a flit.
         self.wake_set: Optional[Set[Router]] = None
+        #: Buffer-push sinks for array-state mirrors.  ``None`` by default;
+        #: an :class:`repro.sim.array_backend.ArrayBackend` installs lists
+        #: here and :meth:`FlitBuffer.push` appends the pushed buffer to
+        #: ``push_sink`` on *every* push (occupancy changed) and to
+        #: ``head_sink`` on empty -> nonempty transitions (the front flit
+        #: changed, so any cached routing decision is stale).  Pops all
+        #: happen inside :func:`repro.noc.router.commit_move`, which fast
+        #: backends drive themselves, so no pop sink is needed.
+        self.push_sink: Optional[List["FlitBuffer"]] = None
+        self.head_sink: Optional[List["FlitBuffer"]] = None
         for r in routers:
             r.net = self
         for a in adapters:
@@ -173,6 +184,63 @@ class Network:
 
     def buffer_occupancy(self) -> List[int]:
         return [r.occupancy() for r in self.routers]
+
+    # ------------------------------------------------------------------
+    # state export (array packing + differential debugging)
+    # ------------------------------------------------------------------
+    def iter_buffers(self) -> List["FlitBuffer"]:
+        """Every VC lane and local queue, in deterministic (node,
+        creation) order -- the canonical flat indexing for array-state
+        mirrors and state snapshots."""
+        return [b for r in self.routers for b in r.in_bufs]
+
+    def iter_ports(self):
+        """Every output port in deterministic (node, creation) order --
+        identical to the order ``step`` collects moves in, so grants
+        emitted in ascending flat-port order commit in reference order."""
+        return [p for r in self.routers for p in r.out_ports]
+
+    def state_snapshot(self) -> Dict[str, object]:
+        """A structural snapshot of all mutable simulation state, keyed
+        by stable labels (no object identities, no global packet ids), so
+        two networks driven by different backends can be compared
+        cycle-by-cycle.  Used by ``tests/differential.py`` to pinpoint
+        the first diverging cycle of a backend pair."""
+        # Note: ``pkt.vclass`` is deliberately absent.  Its dimension-turn
+        # reset (mesh/torus ``route_head``) is applied lazily by the
+        # reference loop (at the next arbitration scan) but may be applied
+        # eagerly by caching backends -- both before any read, so the
+        # transient attribute difference is unobservable.  A genuine VC
+        # divergence still shows up here as flits in different VC lanes.
+        def flit_key(pkt: "Packet", fidx: int):
+            return (pkt.src, pkt.dst, pkt.size, pkt.traffic, pkt.created,
+                    fidx)
+
+        bufs = {}
+        for b in self.iter_buffers():
+            bufs[b.label] = {
+                "q": [flit_key(p, i) for p, i in b.q],
+                "cur_out": b.cur_out.name if b.cur_out is not None else None,
+                "cur_vc": b.cur_vc,
+                "cur_deliver": b.cur_deliver,
+            }
+        ports = {}
+        for r in self.routers:
+            for p in r.out_ports:
+                ports[f"r{r.node}.{p.name}"] = {
+                    "rr": p.rr,
+                    "owner": [o.label if o is not None else None
+                              for o in p.owner],
+                    "flits_sent": p.flits_sent,
+                    "live_feeders": p.live_feeders,
+                }
+        return {
+            "cycle": self.cycle,
+            "flits_moved": self.flits_moved,
+            "deliveries": self.deliveries,
+            "buffers": bufs,
+            "ports": ports,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Network {self.name!r} n={self.n} cycle={self.cycle} "

@@ -1,0 +1,500 @@
+"""Batched numpy step kernel: vectorized arbitration behind the
+:class:`~repro.sim.backend.SimBackend` seam.
+
+The reference cycle is two phases (see :mod:`repro.noc.router`): phase A
+arbitrates every output port against start-of-cycle state, phase B
+commits the granted moves in deterministic port order.  At saturation --
+the region the paper's latency/load figures care about most -- the
+``active`` backend degenerates to the reference loop, because every
+router is busy every cycle and the per-port Python arbitration *is* the
+cost.  :class:`ArrayBackend` removes that cost by evaluating phase A for
+**all ports at once** as a handful of numpy operations over flat state
+mirrors, then funnelling the grants through the unmodified
+:func:`~repro.noc.router.commit_move` so phase B (and with it every
+collector callback, adapter side effect and float accumulation) is the
+reference implementation by construction.
+
+State layout
+------------
+Buffers and ports are flattened in ``(node, creation)`` order -- the
+exact order ``Network.step`` polls them -- into parallel arrays.  Per
+buffer, the mirrors describe what the buffer's *front flit* wants this
+cycle (maintained incrementally, not recomputed per cycle):
+
+======================= ==============================================
+``want[b]``             flat id of the output port the front flit is
+                        requesting: the latched ``cur_out`` while the
+                        buffer streams a packet, the cached
+                        ``route_head`` decision while an unrouted
+                        header waits, ``-1`` when neither applies
+``vcreq[b]``            the VC that request wants (latched ``cur_vc``
+                        or the header's requested class)
+``dlv[b]``              clone-to-local flag riding with the request
+``hdrf[b]``             True while the front is an unrouted header
+                        (its grant needs the VC-owner check; a
+                        streaming grant does not)
+``nonempty[b]/fullb[b]``occupancy status (mirrors ``len(buf.q)``)
+======================= ==============================================
+
+and per port: ``F[p, j]`` (flat buffer id of the ``j``-th feeder),
+``down[p, v]`` (downstream buffer per VC), ``owner[p, v]`` (VC
+allocation table), ``rr[p]`` / ``nf[p]`` (round-robin pointer, feeder
+count).  A sentinel buffer id (``B``: never nonempty, never full,
+``want = -1``) pads the ragged feeder lists and stands in for ``None``
+downstream entries (ejection ports -- an infinite sink is "never full").
+
+Why the results are bit-identical
+---------------------------------
+* Phase A reads only start-of-cycle state, so evaluating all ports
+  simultaneously is the same computation the reference per-port loop
+  performs; the round-robin pick is reproduced exactly by scoring each
+  eligible feeder with ``(j - rr) mod nf`` and taking the minimum (the
+  first eligible feeder the reference scan would reach), and ``rr``
+  advances only on a grant, to the same value.
+* Grants are emitted in ascending flat-port order -- identical to the
+  reference collection order (routers by node id, ports in creation
+  order) -- and committed through the shared ``commit_move``.
+* ``route_head`` is deterministic and side-effect free for a given
+  buffer front (its only write, the mesh/torus dimension-turn VC-class
+  reset, is idempotent and re-applied before any read), so caching its
+  result per buffer front and recomputing on head change calls it with
+  the same observable state the reference loop would.
+* The one genuinely sneaky input is ``pkt.vclass``: the requested VC of
+  a *blocked* header can still change while the header waits, because a
+  trailing flit of the same packet crossing a dateline rim link behind
+  it upgrades the class (reachable on the torus, where the XY turn
+  resets the class the header-side while the X-dateline crossing
+  re-raises it).  Every commit through a dateline port therefore
+  triggers a cache refresh for the moved packet's blocked header, if
+  one exists (``_hdr_of``) -- re-running ``route_head`` exactly as the
+  reference scan would before its next read.  The differential harness
+  (``tests/differential.py``) exists to catch this class of bug.
+
+State synchronisation
+---------------------
+Phase B and the adapters mutate object state the arrays mirror.  Three
+channels keep them coherent without touching the hot reference path:
+
+* ``Network.push_sink`` / ``head_sink`` -- :meth:`FlitBuffer.push` logs
+  every push (occupancy changed) and every empty -> nonempty transition
+  (new front flit => cached route stale).  Injection and the adapters'
+  re-injection paths (Spidergon broadcast replication, Quarc relay
+  ablation) are all pushes, so nothing escapes the log.
+* the move list itself -- pops only ever happen inside ``commit_move``
+  for the moves this backend granted, so source-buffer occupancy,
+  streaming state and the owner table are re-read from the objects
+  after the commit loop (:meth:`_post_commit`).
+
+``net.step()`` called *directly* (not through this backend) would pop
+buffers behind the mirrors' back; call :meth:`resync` afterwards if you
+must interleave (the session layer never does).
+
+Sparse fallback
+---------------
+The kernel's cost is O(ports) per cycle regardless of occupancy, so a
+mostly-idle (or simply small) network would pay the full matrix pass to
+move one flit.  Each step therefore dispatches on a phase-A flit
+census: below ``P // 4`` flits in flight -- or permanently, on networks
+under :attr:`ArrayBackend.VECTOR_MIN_PORTS` output ports -- the cycle
+runs through :meth:`_sparse_step`, the active-set backend's filtered
+object-path arbitration (identical semantics by the same argument).
+Sparse cycles do not maintain the mirrors at all; crossing back into
+vector territory pays one full :meth:`resync`, and an exit threshold at
+half the entry threshold keeps the switch off any oscillation path.
+The result is an engine that matches ``active`` at low load (both
+fast-forward idle gaps and run the same arbitration) and pulls ahead in
+the saturated band the paper's figures are made of.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.noc.ports import Move, OutPort
+from repro.noc.router import commit_move
+from repro.sim.backend import Probes, SimBackend
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.buffers import FlitBuffer
+    from repro.noc.network import Network
+    from repro.traffic.mix import TrafficMix
+
+__all__ = ["ArrayBackend"]
+
+
+class ArrayBackend(SimBackend):
+    """Vectorized phase-A arbitration over flat per-port state arrays."""
+
+    name = "array"
+
+    #: Networks with fewer output ports than this never enter the
+    #: vector kernel (measured: below ~256 ports the per-op numpy
+    #: overhead exceeds the sparse loop even at saturation).
+    VECTOR_MIN_PORTS = 256
+
+    def __init__(self, net: "Network"):
+        super().__init__(net)
+        if net.push_sink is not None:
+            raise ValueError(
+                "another array backend is already attached to this network")
+        self._bufs: List["FlitBuffer"] = net.iter_buffers()
+        self._ports: List[OutPort] = net.iter_ports()
+        B, P = len(self._bufs), len(self._ports)
+        if B == 0 or P == 0:
+            raise ValueError("array backend needs a wired network")
+        for buf in self._bufs:
+            if buf.router is None or buf.router.net is not net:
+                raise ValueError(
+                    f"buffer {buf.label!r} is not owned by this network")
+        self._bid: Dict["FlitBuffer", int] = {
+            b: i for i, b in enumerate(self._bufs)}
+        self._pid: Dict[OutPort, int] = {
+            p: i for i, p in enumerate(self._ports)}
+        V = max(p.vcs for p in self._ports)
+        self._V = V
+
+        # -- buffer-front mirrors (index B = sentinel: empty, wants -1) -
+        self._occ: List[int] = [0] * (B + 1)        # plain ints: scalar math
+        self._cap: List[int] = [b.capacity for b in self._bufs] + [1 << 62]
+        self._nonempty = np.zeros(B + 1, dtype=bool)
+        self._fullb = np.zeros(B + 1, dtype=bool)
+        self._want = np.full(B + 1, -1, dtype=np.int64)
+        self._vcreq = np.zeros(B + 1, dtype=np.int64)
+        self._dlv = np.zeros(B + 1, dtype=bool)
+        self._hdrf = np.zeros(B + 1, dtype=bool)
+
+        # -- port-state mirrors ----------------------------------------
+        nfmax = max(len(p.feeders) for p in self._ports)
+        self._F = np.full((P, nfmax), B, dtype=np.int64)
+        self._nf = np.ones((P, 1), dtype=np.int64)
+        self._rr = np.zeros((P, 1), dtype=np.int64)
+        self._down = np.full((P, V), B, dtype=np.int64)
+        self._owner = np.full((P, V), -1, dtype=np.int64)
+        self._pol_any = np.zeros((P, 1), dtype=bool)
+        self._vc_legal = np.zeros((P, V), dtype=bool)
+        for p, port in enumerate(self._ports):
+            self._nf[p, 0] = len(port.feeders)
+            for j, fb in enumerate(port.feeders):
+                self._F[p, j] = self._bid[fb]
+            for v in range(port.vcs):
+                self._vc_legal[p, v] = True
+                d = port.down[v]
+                if d is not None:
+                    self._down[p, v] = self._bid[d]
+            self._pol_any[p, 0] = port.vc_policy == "any"
+
+        self._j_row = np.arange(nfmax, dtype=np.int64)[None, :]
+        self._p_idx = np.arange(P, dtype=np.int64)
+        self._pid_col = self._p_idx[:, None]
+        #: flat [P*V] base offsets: ``owner.ravel()[pvbase + vc]`` is a
+        #: cheap ``take_along_axis(owner, vc, axis=1)``
+        self._pvbase = (self._p_idx * V)[:, None]
+        self._big = np.int64(nfmax + 1)
+
+        #: The vector kernel's cost is O(P) per cycle whatever the
+        #: occupancy, so it only wins once enough ports are plausibly
+        #: busy.  Below this flit threshold -- or on networks too small
+        #: for the fixed numpy overhead to ever amortize -- each step
+        #: falls back to :meth:`_sparse_step`, the active-set-style
+        #: object-path arbitration (bit-identical by the same argument
+        #: as ActiveSetBackend).  Mirrors are not maintained in sparse
+        #: mode; re-entering vector mode is a full :meth:`resync`, and a
+        #: hysteresis band (exit at half the entry threshold) keeps the
+        #: resync cost off any per-cycle path.
+        self._vector_min = P // 4 if P >= self.VECTOR_MIN_PORTS else None
+        self._vector_exit = (max(1, self._vector_min // 2)
+                             if self._vector_min is not None else None)
+        self._vector_mode = False
+
+        #: packet -> buffer id for every cached header decision (the
+        #: dateline refresh hook, see module docstring).
+        self._hdr_of: Dict[object, int] = {}
+        self._hpkt: List[Optional[object]] = [None] * (B + 1)
+
+        net.push_sink = []
+        net.head_sink = []
+        self.resync()
+        self._vector_mode = (self._vector_min is not None
+                             and self._inflight >= self._vector_min)
+
+    def detach(self) -> None:
+        """Release the push/head sinks (reference path back to zero-cost)."""
+        self.net.push_sink = None
+        self.net.head_sink = None
+
+    # ------------------------------------------------------------------
+    # state synchronisation
+    # ------------------------------------------------------------------
+    def resync(self) -> None:
+        """Rebuild every mirror from object state (used at construction,
+        and by tests after stepping the network outside this backend)."""
+        self._hdr_of.clear()
+        inflight = 0
+        for b, buf in enumerate(self._bufs):
+            self._hpkt[b] = None
+            n = len(buf.q)
+            inflight += n
+            self._occ[b] = n
+            self._nonempty[b] = n > 0
+            self._fullb[b] = n >= self._cap[b]
+            cur = buf.cur_out
+            if cur is not None:
+                self._want[b] = self._pid[cur]
+                self._vcreq[b] = buf.cur_vc
+                self._dlv[b] = buf.cur_deliver
+                self._hdrf[b] = False
+            else:
+                self._refresh_head(buf, b)
+        self._inflight = inflight
+        for p, port in enumerate(self._ports):
+            self._rr[p, 0] = port.rr
+            for v in range(port.vcs):
+                own = port.owner[v]
+                self._owner[p, v] = -1 if own is None else self._bid[own]
+        sink = self.net.push_sink
+        if sink:
+            sink.clear()
+        hs = self.net.head_sink
+        if hs:
+            hs.clear()
+
+    def _forget_head(self, b: int) -> None:
+        """Drop buffer ``b``'s header-cache bookkeeping.  The reverse map
+        is popped only when it still points at ``b``: once the header has
+        moved on, the same packet's entry legitimately belongs to the
+        *downstream* buffer and must survive this buffer's cleanup."""
+        old = self._hpkt[b]
+        if old is not None:
+            self._hpkt[b] = None
+            if self._hdr_of.get(old) == b:
+                del self._hdr_of[old]
+
+    def _refresh_head(self, buf: "FlitBuffer", b: int) -> None:
+        """Recompute the cached routing decision for ``buf``'s front.
+
+        Only meaningful when the front is an unrouted header flit; a
+        streaming or empty buffer gets ``want = -1`` via its own path."""
+        self._forget_head(b)
+        q = buf.q
+        if q and buf.cur_out is None:
+            pkt, _ = q[0]
+            port, deliver = buf.router.route_head(buf, pkt)
+            self._want[b] = self._pid[port]
+            vc = 1 if port.is_dateline else pkt.vclass
+            if vc >= port.vcs:      # defensive clamp, as in arbitrate()
+                vc = port.vcs - 1
+            self._vcreq[b] = vc
+            self._dlv[b] = deliver
+            self._hdrf[b] = True
+            self._hpkt[b] = pkt
+            self._hdr_of[pkt] = b
+        elif buf.cur_out is None:
+            self._want[b] = -1
+            self._hdrf[b] = False
+
+    def _note_occupancy(self, buf: "FlitBuffer", b: int) -> None:
+        """Fold one buffer's occupancy back into the mirrors."""
+        n = len(buf.q)
+        self._inflight += n - self._occ[b]
+        self._occ[b] = n
+        self._nonempty[b] = n > 0
+        self._fullb[b] = n >= self._cap[b]
+
+    def _drain_sinks(self) -> None:
+        """Fold logged pushes into the mirrors (occupancy for every push,
+        route-cache refresh for every empty -> nonempty transition)."""
+        net = self.net
+        sink = net.push_sink
+        if sink:
+            bid = self._bid
+            for buf in sink:
+                self._note_occupancy(buf, bid[buf])
+            sink.clear()
+            hs = net.head_sink
+            if hs:
+                for buf in hs:
+                    # streaming buffers keep their latched request; only
+                    # a fresh unrouted header needs a route computation
+                    if buf.cur_out is None:
+                        self._refresh_head(buf, bid[buf])
+                hs.clear()
+
+    def _busy(self) -> bool:
+        """True when a step could move a flit.  May overestimate (pushes
+        still in the sink) but never underestimates, so fast-forwarding
+        on ``not _busy()`` skips only provably-empty cycles."""
+        return self._inflight > 0 or bool(self.net.push_sink)
+
+    # ------------------------------------------------------------------
+    # the batched cycle
+    # ------------------------------------------------------------------
+    def step(self, now: Optional[int] = None) -> int:
+        net = self.net
+        if now is None or now < net.cycle:
+            now = net.cycle
+        if self._vector_mode:
+            self._drain_sinks()
+            if self._inflight == 0:
+                net.cycle = now + 1
+                return 0
+            if self._inflight >= self._vector_exit:
+                return self._vector_step(now)
+            self._vector_mode = False        # thin out: back to sparse
+        return self._sparse_step(now)
+
+    def _sparse_step(self, now: int) -> int:
+        """Low-occupancy fallback: the active-set backend's filtered
+        object-path arbitration, with no mirror maintenance at all (the
+        sinks are drained unprocessed; re-entering vector mode pays one
+        full :meth:`resync` instead).  The phase-A flit census doubles
+        as the mode-switch and :meth:`_busy` signal -- counted before
+        commits, so it can only overestimate, which is the safe side."""
+        net = self.net
+        sink = net.push_sink
+        if sink:
+            sink.clear()
+            hs = net.head_sink
+            if hs:
+                hs.clear()
+        moves: List[Move] = []
+        append = moves.append
+        total = 0
+        for r in net.routers:
+            f = r.flits
+            if f:
+                total += f
+                for port in r.out_ports:
+                    if port.live_feeders:
+                        mv = port.arbitrate()
+                        if mv is not None:
+                            append(mv)
+        self._inflight = total
+        for mv in moves:
+            commit_move(mv, now, net)
+        moved = len(moves)
+        net.flits_moved += moved
+        net.cycle = now + 1
+        if (self._vector_min is not None
+                and total >= self._vector_min):
+            self.resync()                    # mirrors exact again
+            self._vector_mode = True
+        return moved
+
+    def _vector_step(self, now: int) -> int:
+        net = self.net
+        # ---- phase A, all ports at once ------------------------------
+        fb = self._F                                          # [P, F]
+        owner = self._owner
+        fullpv = self._fullb[self._down]                      # [P, V]
+        here = (self._want[fb] == self._pid_col) & self._nonempty[fb]
+        vcr = self._vcreq[fb]
+        pv = self._pvbase + vcr
+        full_at = fullpv.ravel()[pv]
+        owner_at = owner.ravel()[pv]
+        needo = self._hdrf[fb]
+        elig = here & ~full_at & (
+            ~needo | (owner_at == -1) | (owner_at == fb))
+        # any-policy ports scan VCs low-to-high instead of using the
+        # requested class; only header grants are affected
+        anyh = needo & self._pol_any
+        vc_sel = vcr
+        if anyh.any():
+            any_ok = None
+            any_vc = None
+            for vc in range(self._V - 1, -1, -1):   # low VCs win the scan
+                own_c = owner[:, vc:vc + 1]
+                okv = (((own_c == -1) | (own_c == fb))
+                       & ~fullpv[:, vc:vc + 1]
+                       & self._vc_legal[:, vc:vc + 1])
+                if any_ok is None:
+                    any_ok = okv
+                    any_vc = np.full(fb.shape, vc, dtype=np.int64)
+                else:
+                    any_ok = any_ok | okv
+                    any_vc = np.where(okv, vc, any_vc)
+            elig = np.where(anyh, here & any_ok, elig)
+            vc_sel = np.where(anyh, any_vc, vcr)
+
+        # first eligible feeder in round-robin order == min (j - rr) mod nf
+        prio = self._j_row - self._rr
+        prio = np.where(prio < 0, prio + self._nf, prio)
+        prio = np.where(elig, prio, self._big)
+        jstar = prio.argmin(axis=1)
+        pgrant = np.nonzero(prio[self._p_idx, jstar] < self._big)[0]
+        if pgrant.size == 0:
+            net.cycle = now + 1
+            return 0
+
+        # ---- grant extraction (ascending port id == reference order) -
+        js = jstar[pgrant]
+        bids = fb[pgrant, js]
+        self._rr[pgrant, 0] = (js + 1) % self._nf[pgrant, 0]
+        bufs, ports = self._bufs, self._ports
+        moves: List[Move] = []
+        pending = []
+        datelined = None
+        for p, b, vc, dv, rrv in zip(pgrant.tolist(), bids.tolist(),
+                                     vc_sel[pgrant, js].tolist(),
+                                     self._dlv[bids].tolist(),
+                                     self._rr[pgrant, 0].tolist()):
+            buf = bufs[b]
+            port = ports[p]
+            port.rr = rrv                     # keep object state coherent
+            moves.append((buf, port, vc, dv))
+            pending.append((buf, b, port, p, vc))
+            if port.is_dateline:
+                # this flit's VC-class upgrade may retarget the cached
+                # requested VC of the packet's own blocked header
+                if datelined is None:
+                    datelined = []
+                datelined.append(buf.q[0][0])
+        return self._commit(moves, pending, datelined, now)
+
+    def _commit(self, moves: List[Move], pending, datelined,
+                now: int) -> int:
+        """Phase B (the shared reference commit) + mirror resync."""
+        net = self.net
+        for mv in moves:
+            commit_move(mv, now, net)
+        moved = len(moves)
+        net.flits_moved += moved
+        net.cycle = now + 1
+        self._post_commit(pending)
+        if datelined is not None:
+            bufs = self._bufs
+            for pkt in datelined:
+                b = self._hdr_of.get(pkt)
+                if b is not None:
+                    self._refresh_head(bufs[b], b)
+        return moved
+
+    def _post_commit(self, pending) -> None:
+        """Re-read everything the commit loop mutated: source occupancy,
+        streaming/switching state and the owner table.  Downstream pushes
+        (and any adapter re-injections) arrived via the push sinks and
+        are folded in at the next step's :meth:`_drain_sinks`."""
+        pid = self._pid
+        for buf, b, port, p, vc in pending:
+            self._note_occupancy(buf, b)
+            cur = buf.cur_out
+            if cur is None:
+                self._refresh_head(buf, b)
+            else:
+                self._want[b] = pid[cur]
+                self._vcreq[b] = buf.cur_vc
+                self._dlv[b] = buf.cur_deliver
+                self._hdrf[b] = False
+                self._forget_head(b)   # the cached header streamed out
+            own = port.owner[vc]
+            self._owner[p, vc] = -1 if own is None else self._bid[own]
+
+    # ------------------------------------------------------------------
+    def run_mix(self, mix: "TrafficMix", cycles: int,
+                probes: Optional[Probes] = None) -> None:
+        """Block-precompute arrivals and fast-forward idle gaps -- the
+        shared :meth:`SimBackend._run_mix_fastforward` loop, with the
+        busy test backed by the flit census / push sinks (see
+        :meth:`_busy` for why that is a safe overestimate)."""
+        self._run_mix_fastforward(mix, cycles, probes, self._busy)

@@ -2,7 +2,9 @@
 and *how fast* it executes.
 
 A :class:`SimBackend` drives one :class:`~repro.noc.network.Network`
-through simulated cycles.  Two implementations ship today:
+through simulated cycles.  Three implementations ship today (the third,
+:class:`~repro.sim.array_backend.ArrayBackend`, lives in its own module
+and registers itself when numpy is importable):
 
 * :class:`ReferenceBackend` -- the correctness oracle.  It delegates to
   ``Network.step`` (the original, unmodified per-cycle semantics: poll
@@ -15,6 +17,12 @@ through simulated cycles.  Two implementations ship today:
   network is empty it precomputes the traffic process in blocks and jumps
   the clock straight to the next arrival instead of spinning empty
   cycles.
+* :class:`~repro.sim.array_backend.ArrayBackend` -- the batched numpy
+  kernel: phase A (arbitration) for every output port evaluated at once
+  over flat per-port state arrays, phase B through the shared
+  ``commit_move``.  Targets the near-saturation band where the active
+  set covers the whole network and per-port Python arbitration is the
+  cost.
 
 Why the results are bit-identical
 ---------------------------------
@@ -109,6 +117,70 @@ class SimBackend:
             if cb is not None:
                 cb(t)
 
+    #: Cycles of traffic precomputed per block in
+    #: :meth:`_run_mix_fastforward` (subclasses may tune it).
+    CHUNK = 2048
+
+    def _run_mix_fastforward(self, mix: "TrafficMix", cycles: int,
+                             probes: Optional[Probes],
+                             busy: Callable[[], bool]) -> None:
+        """Shared fast-forwarding ``run_mix`` body: block-precompute
+        arrivals and jump the clock across provably-empty gaps.
+
+        ``busy()`` is the backend's "a step could move a flit" test; it
+        may overestimate (costing only a per-cycle step) but must never
+        underestimate, because a cycle skipped here is never executed.
+        Both optimized backends drive this one loop, so their
+        fast-forward semantics cannot drift apart.
+        """
+        net = self.net
+        probes = probes or {}
+        step = self.step
+        inject = mix.inject
+        t = net.cycle
+        end = t + cycles
+        while t < end:
+            c1 = min(t + self.CHUNK, end)
+            by_cycle = mix.precompute_arrivals(t, c1)
+            pending = sorted(set(by_cycle).union(
+                p for p in probes if t <= p < c1))
+            pi = 0
+            while t < c1:
+                if busy():
+                    # network busy: run cycle by cycle (reference order)
+                    nodes = by_cycle.get(t)
+                    if nodes is not None:
+                        for i in nodes:
+                            inject(i, t)
+                    step(t)
+                    cb = probes.get(t)
+                    if cb is not None:
+                        cb(t)
+                    t += 1
+                    continue
+                # network empty: jump to the next arrival/probe cycle
+                while pi < len(pending) and pending[pi] < t:
+                    pi += 1
+                if pi == len(pending):
+                    net.cycle = t = c1
+                    break
+                nxt = pending[pi]
+                if nxt > t:
+                    net.cycle = t = nxt
+                    continue
+                nodes = by_cycle.get(t)
+                if nodes is not None:
+                    for i in nodes:
+                        inject(i, t)
+                    step(t)
+                else:
+                    net.cycle = t + 1     # probe-only cycle, still empty
+                cb = probes.get(t)
+                if cb is not None:
+                    cb(t)
+                t += 1
+                pi += 1
+
     def drain(self, max_cycles: int = 1_000_000) -> int:
         """Run without new traffic until the network empties; returns
         cycles taken (same liveness contract as ``Network.drain``)."""
@@ -162,9 +234,6 @@ class ActiveSetBackend(SimBackend):
     """
 
     name = "active"
-
-    #: Cycles of traffic precomputed per block in :meth:`run_mix`.
-    CHUNK = 2048
 
     def __init__(self, net: "Network"):
         super().__init__(net)
@@ -247,55 +316,13 @@ class ActiveSetBackend(SimBackend):
         Arrival draws happen in tight per-node loops (one block at a
         time); cycles where the network is empty and no arrival or probe
         is due are skipped by assigning the clock directly -- they are
-        no-ops in the reference loop.
+        no-ops in the reference loop.  A cycle is provably empty when
+        the active set is empty and no wake is pending.
         """
         net = self.net
-        probes = probes or {}
-        step = self.step
-        inject = mix.inject
-        t = net.cycle
-        end = t + cycles
-        while t < end:
-            c1 = min(t + self.CHUNK, end)
-            by_cycle = mix.precompute_arrivals(t, c1)
-            pending = sorted(set(by_cycle).union(
-                p for p in probes if t <= p < c1))
-            pi = 0
-            while t < c1:
-                if self._active or net.wake_set:
-                    # network busy: run cycle by cycle (reference order)
-                    nodes = by_cycle.get(t)
-                    if nodes is not None:
-                        for i in nodes:
-                            inject(i, t)
-                    step(t)
-                    cb = probes.get(t)
-                    if cb is not None:
-                        cb(t)
-                    t += 1
-                    continue
-                # network empty: jump to the next arrival/probe cycle
-                while pi < len(pending) and pending[pi] < t:
-                    pi += 1
-                if pi == len(pending):
-                    net.cycle = t = c1
-                    break
-                nxt = pending[pi]
-                if nxt > t:
-                    net.cycle = t = nxt
-                    continue
-                nodes = by_cycle.get(t)
-                if nodes is not None:
-                    for i in nodes:
-                        inject(i, t)
-                    step(t)
-                else:
-                    net.cycle = t + 1     # probe-only cycle, still empty
-                cb = probes.get(t)
-                if cb is not None:
-                    cb(t)
-                t += 1
-                pi += 1
+        self._run_mix_fastforward(
+            mix, cycles, probes,
+            lambda: bool(self._active) or bool(net.wake_set))
 
 
 BACKENDS: Dict[str, Type[SimBackend]] = {
@@ -303,9 +330,21 @@ BACKENDS: Dict[str, Type[SimBackend]] = {
     ActiveSetBackend.name: ActiveSetBackend,
 }
 
+# The batched numpy kernel registers itself when numpy is importable;
+# environments without numpy simply don't offer "array" (every consumer
+# enumerates BACKENDS, so the CLI flag, RunConfig validation and the
+# test matrices all follow automatically).
+try:
+    from repro.sim.array_backend import ArrayBackend
+except ImportError:                                   # pragma: no cover
+    ArrayBackend = None                               # type: ignore
+else:
+    BACKENDS[ArrayBackend.name] = ArrayBackend
+
 
 def make_backend(name: str, net: "Network") -> SimBackend:
-    """Instantiate backend ``name`` ("reference" | "active") for ``net``."""
+    """Instantiate backend ``name`` ("reference" | "active" | "array")
+    for ``net``."""
     try:
         cls = BACKENDS[name]
     except KeyError:

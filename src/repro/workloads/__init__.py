@@ -32,10 +32,10 @@ Modules
 from repro.workloads.arrivals import BurstyInjector, TraceInjector
 from repro.workloads.registry import (ARRIVAL, PATTERN, ArrivalModel,
                                       ScenarioInfo, check_spec,
-                                      get_scenario, list_scenarios,
-                                      parse_spec, register_scenario,
-                                      resolve_arrival, resolve_pattern,
-                                      scenario_table)
+                                      format_spec, get_scenario,
+                                      list_scenarios, parse_spec,
+                                      register_scenario, resolve_arrival,
+                                      resolve_pattern, scenario_table)
 from repro.workloads.trace import TRACE_FORMAT, Trace, TraceRecorder
 
 __all__ = [
@@ -49,6 +49,7 @@ __all__ = [
     "TraceInjector",
     "TraceRecorder",
     "check_spec",
+    "format_spec",
     "get_scenario",
     "list_scenarios",
     "parse_spec",

@@ -37,9 +37,10 @@ from repro.traffic.generators import (BernoulliInjector,
 from repro.workloads.arrivals import BurstyInjector, TraceInjector
 from repro.workloads.trace import Trace
 
-__all__ = ["ScenarioInfo", "ArrivalModel", "parse_spec", "list_scenarios",
-           "register_scenario", "get_scenario", "check_spec",
-           "resolve_pattern", "resolve_arrival", "scenario_table"]
+__all__ = ["ScenarioInfo", "ArrivalModel", "parse_spec", "format_spec",
+           "list_scenarios", "register_scenario", "get_scenario",
+           "check_spec", "resolve_pattern", "resolve_arrival",
+           "scenario_table"]
 
 PATTERN = "pattern"
 ARRIVAL = "arrival"
@@ -190,6 +191,56 @@ def parse_spec(spec: str) -> Tuple[str, Dict[str, object]]:
     """
     name, raw = _split_spec(spec)
     return name, {k: _coerce(v) for k, v in raw.items()}
+
+
+def _format_value(value: object) -> str:
+    """Render one parameter value so :func:`parse_spec` coerces it back
+    to an equal value."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    text = repr(value) if isinstance(value, float) else str(value)
+    if _coerce(text) != value:
+        raise ValueError(
+            f"parameter value {value!r} does not survive the spec "
+            f"grammar (renders as {text!r})")
+    return text
+
+
+def format_spec(name: str, params: Optional[Dict[str, object]] = None
+                ) -> str:
+    """The canonical spec string for ``(name, params)`` -- the inverse
+    of :func:`parse_spec`, up to key order and whitespace.
+
+    Round-trip invariant (property-tested in
+    ``tests/test_workload_properties.py``)::
+
+        parse_spec(format_spec(*parse_spec(s))) == parse_spec(s)
+
+    Raises :class:`ValueError` for names/keys/values the grammar cannot
+    carry (empty names, ``:``/``,``/``=`` inside tokens, values whose
+    text form coerces to a different value -- e.g. the *string* "1e5",
+    which would come back as a float; keep those in ``string_params``
+    scenarios and pass the string to the resolver directly).
+    """
+    name = str(name).strip().lower()
+    if not name or any(c in name for c in ":,="):
+        raise ValueError(f"scenario name {name!r} does not fit the "
+                         f"spec grammar")
+    if not params:
+        return name
+    parts = []
+    for key, value in params.items():
+        key = str(key).strip().lower()
+        if not key or any(c in key for c in ":,="):
+            raise ValueError(f"parameter key {key!r} does not fit the "
+                             f"spec grammar")
+        text = _format_value(value)
+        if not text.strip() or any(c in text for c in ",="):
+            raise ValueError(
+                f"parameter value {value!r} does not fit the spec "
+                f"grammar (the ',' separator and '=' are reserved)")
+        parts.append(f"{key}={text}")
+    return name + ":" + ",".join(parts)
 
 
 def _resolve(spec: str, kind: str

@@ -103,19 +103,40 @@ class Trace:
                 raise ValueError(f"{path}: header 'n' must be a positive "
                                  f"integer (got {n!r})")
             events: List[Tuple[int, int]] = []
+            prev: Optional[Tuple[int, int]] = None
             for lineno, line in enumerate(fh, start=2):
                 line = line.strip()
                 if not line:
                     continue
                 try:
                     ev = json.loads(line)
-                    events.append((int(ev["t"]), int(ev["node"])))
+                    t, node = int(ev["t"]), int(ev["node"])
                 except (json.JSONDecodeError, KeyError, TypeError,
                         ValueError):
                     raise ValueError(
                         f"{path}:{lineno}: bad trace event {line!r}; "
                         f'expected {{"t": <cycle>, "node": <node>}}'
                     ) from None
+                # validate while the line number is still known -- the
+                # Trace constructor would only report the bad values
+                if t < 0:
+                    raise ValueError(
+                        f"{path}:{lineno}: negative cycle {t}")
+                if not 0 <= node < n:
+                    raise ValueError(
+                        f"{path}:{lineno}: node {node} out of range "
+                        f"for n={n}")
+                if prev is not None and (t, node) <= prev:
+                    what = ("duplicate" if (t, node) == prev
+                            else "out-of-order")
+                    raise ValueError(
+                        f"{path}:{lineno}: {what} event (t={t}, "
+                        f"node={node}) after (t={prev[0]}, "
+                        f"node={prev[1]}); traces must be sorted "
+                        f"by (t, node) with at most one arrival per "
+                        f"node per cycle")
+                prev = (t, node)
+                events.append((t, node))
         return cls(n=n, events=events,
                    meta=dict(header.get("meta") or {}))
 

@@ -1,4 +1,9 @@
-"""Shared fixtures for the test-suite (helpers live in ``helpers.py``)."""
+"""Shared fixtures for the test-suite (helpers live in ``helpers.py``).
+
+Also wires the ``slow`` marker: tests tagged ``@pytest.mark.slow`` (the
+nightly-sized differential fuzz sweep) are skipped unless ``--runslow``
+is passed.
+"""
 
 from __future__ import annotations
 
@@ -9,6 +14,21 @@ import pytest
 from repro.core.api import build_network
 from repro.core.collector import LatencyCollector
 from repro.noc.network import Network
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow", action="store_true", default=False,
+        help="run tests marked slow (the nightly-size differential sweep)")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="needs --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture

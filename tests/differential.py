@@ -1,0 +1,223 @@
+"""Reusable differential-testing harness for simulation backends.
+
+The equivalence contract (``RunSummary`` equality between backends) is
+easy to *assert* but painful to *debug*: a single mis-arbitrated flit
+thousands of cycles into a run surfaces only as a slightly different
+latency mean.  This harness closes that gap:
+
+* :func:`run_summaries` -- run one config through several backends and
+  return the summaries (the assertion side).
+* :func:`find_divergence` -- drive two backends **in lockstep**, one
+  cycle at a time, comparing full network state snapshots
+  (:meth:`~repro.noc.network.Network.state_snapshot`: every buffer's
+  flit queue and switching table, every port's round-robin pointer, VC
+  owner table and flit counter) after every cycle; returns a
+  :class:`Divergence` naming the first cycle where the two engines
+  disagree, with a per-key state diff (the debugging side).
+* :func:`random_configs` -- a deterministic stream of randomized
+  (topology, size, pattern, arrival, rate, msg_len, beta, seed)
+  configurations for fuzzing (``tests/test_differential.py``).
+
+Typical debugging session (see also ``src/repro/sim/README.md``)::
+
+    from differential import find_divergence, make_config
+    cfg = make_config(kind="torus", n=36, rate=0.15, seed=23)
+    div = find_divergence(cfg, "reference", "array")
+    print(div.report())     # first diverging cycle + state diff
+
+Note the lockstep driver injects traffic cycle-by-cycle through
+``TrafficMix.generate`` on both sessions, so backend-specific
+``run_mix`` fast-forwarding is *not* exercised here -- use
+:func:`run_summaries` for the end-to-end contract and
+:func:`find_divergence` to localise a step-kernel bug.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.sim.backend import BACKENDS
+from repro.sim.records import RunSummary
+from repro.sim.session import RunConfig, SimulationSession
+from repro.traffic.workload import WorkloadSpec
+
+__all__ = ["Divergence", "make_config", "run_summaries", "find_divergence",
+           "random_configs", "assert_backends_equivalent"]
+
+
+def make_config(kind: str = "quarc", n: int = 8, msg_len: int = 4,
+                beta: float = 0.1, rate: float = 0.03, cycles: int = 900,
+                warmup: int = 200, seed: int = 1,
+                pattern: str = "uniform", arrival: str = "bernoulli",
+                **cfg) -> RunConfig:
+    """A :class:`RunConfig` with fuzz-friendly defaults."""
+    spec = WorkloadSpec(kind=kind, n=n, msg_len=msg_len, beta=beta,
+                        rate=rate, cycles=cycles, warmup=warmup, seed=seed,
+                        pattern=pattern, arrival=arrival)
+    return RunConfig(spec=spec, **cfg)
+
+
+def run_summaries(config: RunConfig,
+                  backends: Sequence[str]) -> List[RunSummary]:
+    """Run ``config`` once per backend; returns the summaries in order."""
+    out = []
+    for name in backends:
+        session = SimulationSession(config.with_backend(name))
+        out.append(session.run())
+        session.backend.detach()
+    return out
+
+
+# ----------------------------------------------------------------------
+# lockstep divergence search
+# ----------------------------------------------------------------------
+@dataclass
+class Divergence:
+    """First cycle where two backends' network states disagree."""
+
+    backend_a: str
+    backend_b: str
+    cycle: int                     # the cycle whose step diverged
+    diffs: List[str] = field(default_factory=list)  # human-readable lines
+
+    def report(self, limit: int = 40) -> str:
+        head = (f"backends {self.backend_a!r} vs {self.backend_b!r} "
+                f"diverge after stepping cycle {self.cycle}")
+        body = self.diffs[:limit]
+        if len(self.diffs) > limit:
+            body.append(f"... {len(self.diffs) - limit} more differing keys")
+        return "\n".join([head] + [f"  {line}" for line in body])
+
+
+def _diff_state(a: Dict[str, object], b: Dict[str, object],
+                prefix: str = "") -> List[str]:
+    out: List[str] = []
+    for key in a:
+        va, vb = a[key], b.get(key)
+        label = f"{prefix}{key}"
+        if isinstance(va, dict) and isinstance(vb, dict):
+            out.extend(_diff_state(va, vb, prefix=f"{label}."))
+        elif va != vb:
+            out.append(f"{label}: {va!r} != {vb!r}")
+    return out
+
+
+def find_divergence(config: RunConfig, backend_a: str, backend_b: str,
+                    cycles: Optional[int] = None,
+                    drain_limit: int = 100_000) -> Optional[Divergence]:
+    """Run two backends cycle-by-cycle and return the first divergence.
+
+    Both sessions receive identical injections (same seeds, same
+    per-cycle ``generate`` calls); after each step the full
+    ``state_snapshot`` of both networks is compared.  Returns ``None``
+    when no divergence shows up within ``cycles`` (default: the
+    config's horizon) plus a bounded drain -- so bugs that only
+    manifest once traffic stops (stale caches touched by the emptying
+    network) are still localised.
+    """
+    sessions = [SimulationSession(config.with_backend(name))
+                for name in (backend_a, backend_b)]
+    horizon = cycles if cycles is not None else config.spec.cycles
+    try:
+        def compare(t: int) -> Optional[Divergence]:
+            snaps = [s.net.state_snapshot() for s in sessions]
+            diffs = _diff_state(snaps[0], snaps[1])
+            if diffs:
+                return Divergence(backend_a, backend_b, t, diffs)
+            return None
+
+        for t in range(horizon):
+            for s in sessions:
+                s.mix.generate(t)
+                s.backend.step(t)
+            div = compare(t)
+            if div is not None:
+                return div
+        t = horizon
+        while any(s.net.total_flits() for s in sessions):
+            if t > horizon + drain_limit:
+                break           # stuck networks: summaries will say so
+            for s in sessions:
+                s.backend.step(t)
+            div = compare(t)
+            if div is not None:
+                return div
+            t += 1
+    finally:
+        for s in sessions:
+            s.backend.detach()
+    return None
+
+
+# ----------------------------------------------------------------------
+# randomized configuration stream
+# ----------------------------------------------------------------------
+#: Sizes every topology accepts (quarc: n % 4 == 0, spidergon: even,
+#: mesh/torus: rows * cols).  Non-power-of-two sizes are valid but
+#: restrict the pattern choice (transpose / bit-complement need 2^k).
+_FUZZ_SIZES = (8, 16)
+_FUZZ_KINDS = ("quarc", "spidergon", "mesh", "torus")
+_FUZZ_PATTERNS = ("uniform", "hotspot:node=1,p=0.3", "transpose",
+                  "bit-complement", "neighbour", "permutation:seed=2")
+_POW2_ONLY_PATTERNS = ("transpose", "bit-complement")
+_FUZZ_ARRIVALS = ("bernoulli", "bursty:on=0.25,len=6",
+                  "bursty:on=0.6,len=2")
+
+
+def random_configs(seed: int, count: int,
+                   cycles: int = 700, warmup: int = 150,
+                   sizes: Sequence[int] = _FUZZ_SIZES,
+                   ) -> Iterator[Tuple[int, RunConfig]]:
+    """Yield ``count`` deterministic pseudo-random configs as
+    ``(case_index, RunConfig)`` pairs.
+
+    The rate axis is sampled log-uniformly from deep-idle to past
+    saturation, because the two regimes exercise entirely different
+    backend code paths (fast-forward vs full-network arbitration).
+    """
+    rng = random.Random(seed)
+    for i in range(count):
+        kind = rng.choice(_FUZZ_KINDS)
+        n = rng.choice(list(sizes))
+        rate = 10 ** rng.uniform(-3.2, -0.3)
+        beta = rng.choice((0.0, 0.05, 0.3))
+        if kind == "quarc" and rng.random() < 0.2:
+            cfg_extra = dict(bcast_mode="relay", clone_disabled=True)
+        else:
+            cfg_extra = {}
+        pattern = rng.choice(_FUZZ_PATTERNS)
+        if n & (n - 1) and pattern in _POW2_ONLY_PATTERNS:
+            pattern = "uniform"
+        yield i, make_config(
+            kind=kind, n=n,
+            msg_len=rng.choice((1, 2, 4, 9, 16)),
+            beta=beta,
+            rate=round(rate, 5),
+            cycles=cycles, warmup=warmup,
+            seed=rng.randrange(1, 10_000),
+            pattern=pattern,
+            arrival=rng.choice(_FUZZ_ARRIVALS),
+            **cfg_extra)
+
+
+def assert_backends_equivalent(config: RunConfig,
+                               backends: Optional[Sequence[str]] = None,
+                               ) -> List[RunSummary]:
+    """Assert all ``backends`` (default: every registered one) produce
+    identical summaries for ``config``; on mismatch, re-run the failing
+    pair in lockstep and raise with the first diverging cycle's diff."""
+    names = list(backends if backends is not None else sorted(BACKENDS))
+    summaries = run_summaries(config, names)
+    baseline = summaries[0]
+    for name, summary in zip(names[1:], summaries[1:]):
+        if summary != baseline:
+            div = find_divergence(config, names[0], name)
+            detail = div.report() if div is not None else (
+                "summaries differ but lockstep stepping agrees -- "
+                "suspect run_mix fast-forward or drain handling")
+            raise AssertionError(
+                f"backend {name!r} diverges from {names[0]!r} for "
+                f"{config.spec.label()} (seed {config.spec.seed}):\n{detail}")
+    return summaries

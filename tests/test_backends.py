@@ -14,17 +14,19 @@ import pytest
 
 from repro.core.api import NETWORK_KINDS, build_network
 from repro.noc.packet import Packet, UNICAST
-from repro.sim.backend import (ActiveSetBackend, ReferenceBackend,
-                               make_backend)
+from repro.sim.backend import (ActiveSetBackend, ArrayBackend, BACKENDS,
+                               ReferenceBackend, make_backend)
 from repro.sim.session import RunConfig, SimulationSession
 from repro.traffic.generators import BernoulliInjector
 from repro.traffic.mix import TrafficMix
 from repro.traffic.workload import WorkloadSpec
 
+ALL_BACKENDS = sorted(BACKENDS)     # reference + every optimized engine
 
-def _summaries(spec, **cfg):
+
+def _summaries(spec, backends=ALL_BACKENDS, **cfg):
     out = []
-    for backend in ("reference", "active"):
+    for backend in backends:
         session = SimulationSession(
             RunConfig(spec=spec, backend=backend, **cfg))
         out.append(session.run())
@@ -37,46 +39,46 @@ class TestBackendEquivalence:
     def test_identical_summaries(self, kind, beta):
         spec = WorkloadSpec(kind=kind, n=8, msg_len=4, beta=beta,
                             rate=0.02, cycles=2000, warmup=400, seed=11)
-        ref, act = _summaries(spec)
-        assert ref == act
+        sums = _summaries(spec)
+        assert all(s == sums[0] for s in sums[1:]), ALL_BACKENDS
 
     def test_identical_under_load(self):
-        """Near saturation the active set covers the whole network."""
+        """Near saturation the active set covers the whole network (and
+        the array kernel arbitrates every port every cycle)."""
         spec = WorkloadSpec(kind="spidergon", n=8, msg_len=16, beta=0.0,
                             rate=0.5, cycles=1500, warmup=300, seed=3)
-        ref, act = _summaries(spec)
-        assert ref == act
-        assert ref.saturated
+        sums = _summaries(spec)
+        assert all(s == sums[0] for s in sums[1:]), ALL_BACKENDS
+        assert sums[0].saturated
 
     def test_identical_quarc_relay_ablation(self):
         """The re-injection path (adapter pushes during commit) too."""
         spec = WorkloadSpec(kind="quarc", n=8, msg_len=4, beta=0.3,
                             rate=0.03, cycles=1500, warmup=300, seed=5)
-        ref, act = _summaries(spec, bcast_mode="relay",
-                              clone_disabled=True)
-        assert ref == act
-        assert ref.bcast_samples > 0
+        sums = _summaries(spec, bcast_mode="relay", clone_disabled=True)
+        assert all(s == sums[0] for s in sums[1:]), ALL_BACKENDS
+        assert sums[0].bcast_samples > 0
 
     @pytest.mark.parametrize("kind", NETWORK_KINDS)
     def test_identical_drain_cycles(self, kind):
         drains = []
-        for backend in ("reference", "active"):
+        for backend in ALL_BACKENDS:
             net, _ = build_network(kind, 8)
             be = make_backend(backend, net)
             for src, dst in ((0, 5), (3, 1), (6, 2)):
                 net.adapters[src].send(
                     Packet(src, dst, 6, UNICAST, created=0), 0)
             drains.append((be.drain(), net.deliveries, net.flits_moved))
-        assert drains[0] == drains[1]
+        assert all(d == drains[0] for d in drains[1:]), ALL_BACKENDS
 
     def test_zero_rate_fast_forward(self):
         """An empty network fast-forwards; clock and counters agree."""
         spec = WorkloadSpec(kind="quarc", n=8, msg_len=4, beta=0.0,
                             rate=0.0, cycles=5000, warmup=500, seed=1)
-        ref, act = _summaries(spec)
-        assert ref == act
-        assert act.generated_msgs == 0
-        assert act.flits_moved == 0
+        sums = _summaries(spec)
+        assert all(s == sums[0] for s in sums[1:]), ALL_BACKENDS
+        assert sums[-1].generated_msgs == 0
+        assert sums[-1].flits_moved == 0
 
     def test_unknown_backend_rejected(self):
         net, _ = build_network("quarc", 8)
@@ -129,6 +131,124 @@ class TestActiveSet:
             for port in r.out_ports:
                 expected = sum(1 for b in port.feeders if b.q)
                 assert port.live_feeders == expected, port
+
+
+class TestArrayBackend:
+    def test_registered_and_constructible(self):
+        net, _ = build_network("quarc", 8)
+        be = make_backend("array", net)
+        assert isinstance(be, ArrayBackend)
+        assert net.push_sink == [] and net.head_sink == []
+        be.detach()
+        assert net.push_sink is None and net.head_sink is None
+
+    def test_second_attach_rejected(self):
+        net, _ = build_network("quarc", 8)
+        be = ArrayBackend(net)
+        with pytest.raises(ValueError, match="already attached"):
+            ArrayBackend(net)
+        be.detach()
+        ArrayBackend(net)               # fine after detach
+
+    def test_preloaded_network_is_packed(self):
+        """Flits already in flight at attach time must be mirrored."""
+        net, _ = build_network("spidergon", 8)
+        net.adapters[0].send(Packet(0, 4, 4, UNICAST, created=0), 0)
+        be = ArrayBackend(net)
+        assert be._inflight == 4
+        be.drain()
+        assert net.deliveries == 1
+        be.step()       # the sparse census trails commits by one step
+        assert be._inflight == 0 and not be._busy()
+
+    def test_detach_restores_reference_path(self):
+        net, _ = build_network("quarc", 8)
+        be = ArrayBackend(net)
+        be.detach()
+        net.adapters[0].send(Packet(0, 3, 2, UNICAST, created=0), 0)
+        assert net.drain() > 0          # reference path unaffected
+
+    def test_resync_after_external_steps(self):
+        """net.step() outside the backend stales the mirrors; resync
+        must restore exact equivalence."""
+        spec = WorkloadSpec(kind="torus", n=16, msg_len=8, beta=0.0,
+                            rate=0.1, cycles=400, warmup=100, seed=7)
+        ref = SimulationSession(RunConfig(spec=spec, backend="reference"))
+        arr = SimulationSession(RunConfig(spec=spec, backend="array"))
+        for t in range(150):
+            ref.mix.generate(t)
+            ref.net.step(t)
+            arr.mix.generate(t)
+            if t == 60:                 # sidestep the backend once
+                arr.net.step(t)
+                arr.backend.resync()
+            else:
+                arr.backend.step(t)
+        for t in range(150, 400):
+            ref.mix.generate(t)
+            ref.net.step(t)
+            arr.mix.generate(t)
+            arr.backend.step(t)
+        assert ref.net.state_snapshot() == arr.net.state_snapshot()
+
+    def test_mirrors_consistent_after_vector_run(self):
+        """Every mirror must equal the object truth while the vector
+        kernel is engaged (a saturated 64-node net keeps it engaged)."""
+        spec = WorkloadSpec(kind="quarc", n=64, msg_len=16, beta=0.0,
+                            rate=0.014, cycles=600, warmup=100, seed=7)
+        session = SimulationSession(RunConfig(spec=spec, backend="array"))
+        session.run()
+        be = session.backend
+        assert be._vector_mode, "saturated quarc64 should use the kernel"
+        be._drain_sinks()
+        for b, buf in enumerate(be._bufs):
+            assert be._occ[b] == len(buf.q), buf
+            assert be._nonempty[b] == (len(buf.q) > 0), buf
+            assert be._fullb[b] == (len(buf.q) >= buf.capacity), buf
+            if buf.cur_out is not None:
+                assert be._want[b] == be._pid[buf.cur_out], buf
+                assert be._vcreq[b] == buf.cur_vc, buf
+        for p, port in enumerate(be._ports):
+            assert be._rr[p, 0] == port.rr, port
+            for v in range(port.vcs):
+                own = port.owner[v]
+                assert be._owner[p, v] == (
+                    -1 if own is None else be._bid[own]), port
+        assert be._inflight == session.net.total_flits()
+
+    def test_clock_clamps_like_reference(self):
+        net, _ = build_network("quarc", 8)
+        be = ArrayBackend(net)
+        be.step(10)
+        assert net.cycle == 11
+        be.step(2)
+        assert net.cycle == 12
+
+    def test_small_networks_stay_on_the_sparse_path(self):
+        """Below VECTOR_MIN_PORTS the numpy kernel never amortizes; the
+        backend must arbitrate through the object path instead."""
+        net, _ = build_network("quarc", 8)      # 64 ports << threshold
+        be = ArrayBackend(net)
+        assert be._vector_min is None
+        assert not be._vector_mode
+
+    def test_mode_switches_with_occupancy(self):
+        """Fill a big network -> vector kernel engages; drain it ->
+        sparse fallback resumes.  Results stay reference-identical
+        throughout (the equivalence matrix covers that); this pins the
+        switching itself."""
+        spec = WorkloadSpec(kind="quarc", n=64, msg_len=16, beta=0.0,
+                            rate=0.014, cycles=600, warmup=100, seed=3)
+        session = SimulationSession(RunConfig(spec=spec, backend="array"))
+        be = session.backend
+        assert not be._vector_mode              # empty at start
+        session.run()
+        assert be._vector_mode                  # saturated: kernel on
+        session.drain(max_cycles=200_000)
+        for _ in range(4):
+            be.step()                           # censuses see empty net
+        assert not be._vector_mode              # drained: sparse again
+        assert be.in_flight() == 0
 
 
 class TestGeometricInjector:

@@ -271,6 +271,36 @@ class TestTraceFormat:
         with pytest.raises(ValueError, match="bad trace event"):
             Trace.load(str(p))
 
+    def test_load_names_the_malformed_line(self, tmp_path):
+        """Regression: error messages must carry the JSONL line number
+        so a bad line in a 100k-event trace is findable."""
+        p = tmp_path / "bad.jsonl"
+        p.write_text('{"format": "repro-trace/v1", "n": 4}\n'
+                     '{"t": 1, "node": 0}\n'
+                     '{"t": 2, "node": "zero"}\n')
+        with pytest.raises(ValueError, match=r"bad\.jsonl:3: bad trace"):
+            Trace.load(str(p))
+
+    @pytest.mark.parametrize("lines,match", [
+        ('{"t": 9, "node": 1}\n{"t": 3, "node": 0}\n',
+         r":3: out-of-order event \(t=3, node=0\) after \(t=9, node=1\)"),
+        ('{"t": 5, "node": 2}\n{"t": 5, "node": 1}\n',
+         r":3: out-of-order event"),
+        ('{"t": 5, "node": 1}\n{"t": 5, "node": 1}\n',
+         r":3: duplicate event"),
+        ('{"t": -2, "node": 1}\n', r":2: negative cycle -2"),
+        ('{"t": 1, "node": 7}\n', r":2: node 7 out of range for n=4"),
+    ])
+    def test_load_rejects_disordered_events_with_line_numbers(
+            self, tmp_path, lines, match):
+        """Regression: out-of-order / duplicate / out-of-range events
+        used to be silently re-sorted (or surfaced without a location);
+        they must raise a ValueError naming the offending line."""
+        p = tmp_path / "bad.jsonl"
+        p.write_text('{"format": "repro-trace/v1", "n": 4}\n' + lines)
+        with pytest.raises(ValueError, match=match):
+            Trace.load(str(p))
+
     def test_event_validation(self):
         with pytest.raises(ValueError, match="out of range"):
             Trace(n=2, events=[(0, 5)])
@@ -357,12 +387,15 @@ class TestBackendEquivalenceMatrix:
     @pytest.mark.parametrize("pattern", MATRIX_PATTERNS)
     @pytest.mark.parametrize("kind", NETWORK_KINDS)
     def test_identical_summaries(self, kind, pattern, arrival):
+        from repro.sim.backend import BACKENDS
         spec = WorkloadSpec(kind=kind, n=8, msg_len=4, beta=0.1,
                             rate=0.03, cycles=900, warmup=200, seed=13,
                             pattern=pattern, arrival=arrival)
         ref = _run(spec, backend="reference")
-        act = _run(spec, backend="active")
-        assert ref == act
+        for backend in sorted(BACKENDS):
+            if backend == "reference":
+                continue
+            assert _run(spec, backend=backend) == ref, backend
         assert ref.delivered_msgs > 0
 
     def test_trace_replay_equivalence(self, tmp_path):
@@ -375,7 +408,8 @@ class TestBackendEquivalenceMatrix:
         replay_spec = spec.with_scenario(arrival=f"trace:path={path}")
         ref = _run(replay_spec, backend="reference")
         act = _run(replay_spec, backend="active")
-        assert ref == act
+        arr = _run(replay_spec, backend="array")
+        assert ref == act == arr
         # the replay reproduces the recorded run flit-for-flit (summary
         # rows match; `extra` differs only in the arrival spec string)
         assert ref.row() == original.row()
