@@ -26,7 +26,7 @@ import sys
 import time
 from typing import Dict, List, Optional
 
-from benchlib import emit
+from benchlib import backend_equivalence_failures, emit
 
 from repro.experiments.sweep import sweep_scenarios
 from repro.sim.records import RunSummary
@@ -78,20 +78,10 @@ def check_equivalence(smoke: bool,
 
     Pass an already-computed ``reference`` matrix to avoid re-running
     it (``main`` reuses its report rows)."""
-    from repro.sim.backend import BACKENDS
-    failures = []
-    ref = reference if reference is not None else run_matrix(
-        smoke=smoke, backend="reference", workers=workers)
-    for backend in sorted(BACKENDS):
-        if backend == "reference":
-            continue
-        got = run_matrix(smoke=smoke, backend=backend, workers=workers)
-        for r, a in zip(ref, got):
-            label = (f"{r.noc} {r.extra['pattern']} "
-                     f"{r.extra['arrival']} [{backend}]")
-            if r != a:
-                failures.append(f"{label}: backends disagree")
-    return failures
+    return backend_equivalence_failures(
+        run_matrix,
+        lambda s: f"{s.noc} {s.extra['pattern']} {s.extra['arrival']}",
+        smoke=smoke, reference=reference, workers=workers)
 
 
 def check_sanity(summaries: List[RunSummary]) -> List[str]:

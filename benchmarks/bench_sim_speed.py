@@ -30,7 +30,6 @@ import argparse
 import json
 import sys
 import time
-from dataclasses import asdict
 from typing import Dict, List, Tuple
 
 from repro.sim.backend import BACKENDS
@@ -107,7 +106,7 @@ def compare_backends(spec: WorkloadSpec, repeats: int = 2,
     ref_s = times["reference"]
     ref = summaries["reference"]
     result = {
-        "spec": asdict(spec),
+        "spec": spec.to_dict(),
         "reference_s": round(ref_s, 4),
         "reference_cycles_per_s": round(spec.cycles / ref_s),
         "identical_summaries": all(s == ref for s in summaries.values()),

@@ -37,6 +37,38 @@ def emit(name: str, rows: Sequence[Dict[str, object]],
     print(f"[csv] {os.path.normpath(path)}")
 
 
+def backend_equivalence_failures(run_matrix, label, smoke: bool,
+                                 reference=None,
+                                 workers: int = 1) -> List[str]:
+    """Run ``run_matrix(smoke=..., backend=..., workers=...)`` once per
+    optimized backend and compare every cell against the ``reference``
+    matrix (full ``RunSummary`` equality); returns failure messages.
+
+    Shared by the scenario-matrix and app-scenario benches so the
+    equivalence gate cannot drift between them.  ``label(summary)``
+    renders one cell's name; pass an already-computed ``reference``
+    matrix to avoid re-running it.
+    """
+    from repro.sim.backend import BACKENDS
+    failures: List[str] = []
+    ref = reference if reference is not None else run_matrix(
+        smoke=smoke, backend="reference", workers=workers)
+    for backend in sorted(BACKENDS):
+        if backend == "reference":
+            continue
+        got = run_matrix(smoke=smoke, backend=backend, workers=workers)
+        if len(got) != len(ref):
+            failures.append(
+                f"[{backend}]: matrix size {len(got)} != reference "
+                f"{len(ref)}")
+            continue
+        for r, a in zip(ref, got):
+            if r != a:
+                failures.append(f"{label(r)} [{backend}]: "
+                                f"backends disagree")
+    return failures
+
+
 def finite(rows: List[Dict[str, object]], noc: str, metric: str,
            config: str = "") -> List[float]:
     """Collect the finite, measured values of one curve."""

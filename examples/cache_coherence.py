@@ -13,22 +13,24 @@ measure the end-to-end invalidation time (write issued -> every remote
 cache invalidated), which bounds the write stall in a sequentially
 consistent system -- on Quarc and Spidergon with identical workloads.
 
-The two traffic classes carry different message sizes, so this workload
-cannot be expressed as a single ``TrafficMix``; instead the custom
-generator drives the network through the same pluggable
-:class:`~repro.sim.backend.SimBackend` engines the session layer uses
-(``make_backend("active", ...)`` here -- identical results to the
-reference loop, measurably faster).
+The two traffic classes carry different message sizes; since the
+multi-class refactor that is exactly what a ``TrafficMix`` expresses, so
+this example is nothing but the registered ``cache_coherence``
+application workload run through a ``SimulationSession`` -- the same
+entry point the CLI reaches with::
+
+    repro run --workload cache_coherence:storms=true --backend active
+
+The per-class numbers (fill latency vs invalidation latency) come from
+the summary's ``classes`` breakdown.
 
 Run:  python examples/cache_coherence.py [n_cores]
 """
 
 import sys
 
-from repro import Packet, UNICAST, build_network
-from repro.core.collector import LatencyCollector
-from repro.sim.backend import make_backend
-from repro.sim.rng import RngStreams
+from repro.sim.session import RunConfig, SimulationSession
+from repro.traffic.workload import WorkloadSpec
 
 INVALIDATE_SIZE = 2    # address-only message: header + one payload flit
 DATA_SIZE = 10         # cache-line fill: header + 8 data flits + tail
@@ -37,35 +39,27 @@ WARMUP = 1_500
 READ_RATE = 0.012      # line fills per core per cycle
 WRITE_SHARED_RATE = 0.002   # shared-line writes (-> invalidate broadcast)
 
+WORKLOAD = (f"cache_coherence:read_rate={READ_RATE},"
+            f"write_rate={WRITE_SHARED_RATE},"
+            f"data_len={DATA_SIZE},inv_len={INVALIDATE_SIZE}")
+
 
 def run(kind: str, n: int, seed: int = 2026, cycles: int = CYCLES,
         warmup: int = WARMUP) -> dict:
-    collector = LatencyCollector(warmup=warmup)
-    net, _ = build_network(kind, n, collector=collector)
-    backend = make_backend("active", net)
-    streams = RngStreams(seed)   # same seed => identical workload per NoC
-    rngs = [streams.get(f"core{i}") for i in range(n)]
-
-    for t in range(cycles):
-        for core in range(n):
-            r = rngs[core].random()
-            if r < WRITE_SHARED_RATE:
-                # shared write: invalidate everyone else's copy
-                net.adapters[core].send_broadcast(INVALIDATE_SIZE, t)
-            elif r < WRITE_SHARED_RATE + READ_RATE:
-                # read miss: fetch the line from its home node
-                home = rngs[core].randrange(n - 1)
-                home = home if home < core else home + 1
-                net.adapters[core].send(
-                    Packet(core, home, DATA_SIZE, UNICAST), t)
-        backend.step(t)
-
+    spec = WorkloadSpec(kind=kind, n=n, msg_len=DATA_SIZE, beta=0.0,
+                        rate=1.0, cycles=cycles, warmup=warmup, seed=seed,
+                        workload=WORKLOAD)
+    # same seed => identical workload per NoC (common random numbers)
+    session = SimulationSession(RunConfig(spec=spec, backend="active"))
+    summary = session.run()
+    session.backend.detach()
+    classes = summary.per_class
     return {
         "kind": kind,
-        "fills": collector.delivered_unicast,
-        "fill_latency": collector.unicast_mean,
-        "invalidations": collector.completed_collective,
-        "invalidate_latency": collector.collective_mean,
+        "fills": classes["fill"]["delivered"],
+        "fill_latency": classes["fill"]["latency_mean"],
+        "invalidations": classes["inv"]["delivered"],
+        "invalidate_latency": classes["inv"]["latency_mean"],
     }
 
 

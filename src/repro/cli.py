@@ -22,13 +22,21 @@ fig9 / fig10 / fig11
     use; pass --full for the big grids).
 
 Workload scenarios: ``run``, ``sweep`` and ``trace record`` accept
-``--pattern`` / ``--arrival`` spec strings, e.g.::
+``--pattern`` / ``--arrival`` spec strings and ``--workload``
+multi-class specs, e.g.::
 
     repro run --rate 0.01 --pattern hotspot:node=0,p=0.3 \\
               --arrival bursty:on=0.25,len=8 --backend active
+    repro run --workload cache_coherence:storms=true --backend array
+    repro sweep --workload allreduce:chunk=8 --points 4
     repro scenarios list
     repro trace record --out run.jsonl --rate 0.01 --arrival bursty
     repro trace replay --path run.jsonl
+
+Multi-class runs print a per-class latency/throughput breakdown after
+the aggregate row; recordings are ``repro-trace/v2`` (destination,
+class, size and broadcast flag per event), so replay is seed- and
+pattern-independent.
 """
 
 from __future__ import annotations
@@ -48,7 +56,8 @@ from repro.experiments.figures import (curves_from_rows, latency_rows,
                                        run_fig9, run_fig10, run_fig11,
                                        run_fig12, run_table1)
 from repro.experiments.latency import run_point
-from repro.experiments.sweep import compare_networks, default_rates
+from repro.experiments.sweep import (compare_networks, default_rates,
+                                     default_workload_rates)
 from repro.traffic.workload import WorkloadSpec
 
 __all__ = ["main", "build_parser"]
@@ -93,6 +102,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="temporal scenario spec, e.g. "
                              "'bursty:on=0.3,len=8' or "
                              "'trace:path=run.jsonl'")
+        sp.add_argument("--workload", default="",
+                        help="multi-class workload spec, e.g. "
+                             "'cache_coherence:storms=true', "
+                             "'allreduce:chunk=8' or 'classes:...' "
+                             "(overrides -M/--beta/--pattern/--arrival; "
+                             "--rate becomes a multiplier on the class "
+                             "rates, default 1.0)")
 
     sp = sub.add_parser("info", help="topology + analytic model summary")
     add_net_args(sp)
@@ -110,8 +126,10 @@ def build_parser() -> argparse.ArgumentParser:
         add_net_args(sp)
         add_engine_args(sp, workers=False)
         add_workload_args(sp)
-        sp.add_argument("--rate", type=float, required=True,
-                        help="messages/node/cycle")
+        sp.add_argument("--rate", type=float, default=None,
+                        help="messages/node/cycle (required unless "
+                             "--workload is given, where it is a rate "
+                             "multiplier defaulting to 1.0)")
 
     sp = sub.add_parser("scenarios",
                         help="discover named workload scenarios")
@@ -129,8 +147,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_net_args(tp)
     add_engine_args(tp, workers=False)
     add_workload_args(tp)
-    tp.add_argument("--rate", type=float, required=True,
-                    help="messages/node/cycle")
+    tp.add_argument("--rate", type=float, default=None,
+                    help="messages/node/cycle (required unless "
+                         "--workload is given)")
     tp.add_argument("--out", required=True, help="trace output path")
 
     tp = tsub.add_parser("replay",
@@ -148,10 +167,11 @@ def build_parser() -> argparse.ArgumentParser:
     tp.add_argument("--cycles", type=int, default=None)
     tp.add_argument("--warmup", type=int, default=None)
     tp.add_argument("--pattern", default=None,
-                    help="spatial scenario spec (default: the "
-                         "recording's pattern; destinations are drawn "
-                         "at replay time, so the recorded pattern + "
-                         "seed give a flit-exact rerun)")
+                    help="spatial scenario spec -- v1 traces only "
+                         "(times-only: destinations are re-drawn at "
+                         "replay time from pattern + seed); v2 traces "
+                         "replay recorded destinations verbatim and "
+                         "ignore this")
     tp.add_argument("--path", required=True, help="trace file to replay")
 
     sub.add_parser("table1", help="Table 1: Quarc module slices")
@@ -184,15 +204,23 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    rates = default_rates(args.nodes, args.msg_len, args.beta, args.points)
+    if args.workload:
+        # multi-class sweeps scale every class rate together: the rate
+        # axis is a multiplier around the scenario's native rates
+        rates = default_workload_rates(args.points)
+        label = f"N={args.nodes} wl={args.workload}"
+    else:
+        rates = default_rates(args.nodes, args.msg_len, args.beta,
+                              args.points)
+        label = f"N={args.nodes} M={args.msg_len} b={args.beta:g}"
     results = compare_networks(args.nodes, args.msg_len, args.beta,
                                rates=rates, cycles=args.cycles,
                                warmup=args.warmup, seed=args.seed,
                                verbose=True, backend=args.backend,
                                workers=args.workers,
-                               pattern=args.pattern, arrival=args.arrival)
-    rows = latency_rows(results,
-                        f"N={args.nodes} M={args.msg_len} b={args.beta:g}")
+                               pattern=args.pattern, arrival=args.arrival,
+                               workload=args.workload)
+    rows = latency_rows(results, label)
     print()
     print(format_table(rows, columns=["noc", "rate", "unicast_lat",
                                       "bcast_lat", "accepted",
@@ -200,18 +228,50 @@ def _cmd_sweep(args) -> int:
     for metric in ("unicast_lat", "bcast_lat"):
         print()
         print(ascii_curves(curves_from_rows(rows, metric), title=metric))
+    if args.workload:
+        for kind, summaries in results.items():
+            if summaries:
+                print()
+                print(f"per-class breakdown ({kind}, "
+                      f"x{summaries[-1].offered_rate:g}):")
+                print(format_table(summaries[-1].class_rows()))
     if args.csv:
         print(f"[csv] {write_csv(rows, args.csv)}")
     return 0
 
 
+def _resolve_rate(args) -> Optional[float]:
+    """--rate is required for single-class runs; with --workload it is
+    the class-rate multiplier and defaults to 1.0."""
+    if args.rate is not None:
+        return args.rate
+    if getattr(args, "workload", ""):
+        return 1.0
+    print("error: --rate is required (it is only optional with "
+          "--workload)", file=sys.stderr)
+    return None
+
+
+def _print_class_table(summary) -> None:
+    rows = summary.class_rows()
+    if rows:
+        print()
+        print("per-class breakdown:")
+        print(format_table(rows))
+
+
 def _cmd_point(args) -> int:
+    rate = _resolve_rate(args)
+    if rate is None:
+        return 2
     spec = WorkloadSpec(kind=args.kind, n=args.nodes, msg_len=args.msg_len,
-                        beta=args.beta, rate=args.rate, cycles=args.cycles,
+                        beta=args.beta, rate=rate, cycles=args.cycles,
                         warmup=args.warmup, seed=args.seed,
-                        pattern=args.pattern, arrival=args.arrival)
+                        pattern=args.pattern, arrival=args.arrival,
+                        workload=args.workload)
     s = run_point(spec, backend=args.backend)
     print(format_table([s.row()]))
+    _print_class_table(s)
     return 0
 
 
@@ -242,11 +302,15 @@ def _cmd_trace(args) -> int:
     from repro.workloads import Trace, TraceRecorder
 
     if args.trace_action == "record":
+        rate = _resolve_rate(args)
+        if rate is None:
+            return 2
         spec = WorkloadSpec(kind=args.kind, n=args.nodes,
                             msg_len=args.msg_len, beta=args.beta,
-                            rate=args.rate, cycles=args.cycles,
+                            rate=rate, cycles=args.cycles,
                             warmup=args.warmup, seed=args.seed,
-                            pattern=args.pattern, arrival=args.arrival)
+                            pattern=args.pattern, arrival=args.arrival,
+                            workload=args.workload)
         session = SimulationSession(
             RunConfig(spec=spec, backend=args.backend))
         recorder = TraceRecorder.attach(session.mix,
@@ -254,6 +318,7 @@ def _cmd_trace(args) -> int:
         summary = session.run()
         path = recorder.trace().save(args.out)
         print(format_table([summary.row()]))
+        _print_class_table(summary)
         print(f"[trace] {path} ({len(recorder.events)} arrivals)")
         if "," in path:
             print("warning: path contains a comma; 'repro trace replay' "
@@ -279,8 +344,18 @@ def _cmd_trace(args) -> int:
                  "warmup": args.warmup, "pattern": args.pattern}
     fields.update({k: v for k, v in overrides.items() if v is not None})
     fields["arrival"] = f"trace:path={args.path}"
+    # a recording of a multi-class run is replayed from its v2 events
+    # (destination/class/size per arrival), not by re-resolving the
+    # workload -- the trace is self-contained
+    fields["workload"] = ""
+    if trace.version == 2 and (args.pattern is not None
+                               or args.seed is not None):
+        print("note: v2 traces replay the recorded destinations/"
+              "classes/sizes verbatim; --pattern and --seed do not "
+              "change the traffic", file=sys.stderr)
     s = run_point(WorkloadSpec(**fields), backend=args.backend)
     print(format_table([s.row()]))
+    _print_class_table(s)
     print(f"[trace] replayed {len(trace)} arrivals from {args.path}")
     return 0
 

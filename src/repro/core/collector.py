@@ -11,18 +11,44 @@ when their required network channels are free", Sec. 2.1).
 Only messages created at or after ``warmup`` contribute samples; messages
 created earlier are counted but not measured (standard initialization-bias
 control).
+
+Multi-class workloads (:class:`~repro.traffic.mix.TrafficClass`) tag
+their packets and collective ops with a class name; deliveries of tagged
+messages additionally feed a per-class :class:`ClassStats` breakdown
+(delivered count + latency), which the session surfaces as the
+``classes`` block of the run summary.  Untagged traffic (the paper's
+single-class workload) pays one attribute test per *delivery* and keeps
+its aggregate statistics bit-identical.
 """
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+from typing import Dict, Optional, TYPE_CHECKING
 
 from repro.sim.stats import BatchMeans, OnlineStats
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.noc.packet import CollectiveOp, Packet
 
-__all__ = ["LatencyCollector"]
+__all__ = ["ClassStats", "LatencyCollector"]
+
+
+class ClassStats:
+    """Delivery-side accounting for one workload traffic class."""
+
+    __slots__ = ("delivered", "latency")
+
+    def __init__(self) -> None:
+        self.delivered = 0
+        self.latency = OnlineStats()
+
+    @property
+    def latency_mean(self) -> float:
+        return self.latency.mean if self.latency.n else 0.0
+
+    def __repr__(self) -> str:   # pragma: no cover - debugging aid
+        return (f"<ClassStats delivered={self.delivered} "
+                f"mean={self.latency_mean:.1f}>")
 
 
 class LatencyCollector:
@@ -38,6 +64,9 @@ class LatencyCollector:
         self.delivered_unicast = 0
         self.completed_collective = 0
         self.relay_segments = 0             # Spidergon replication traffic
+        #: per-class delivery breakdown, keyed by traffic-class name
+        #: (populated only when the workload tags its messages)
+        self.per_class: Dict[str, ClassStats] = {}
 
     # -- generation side (called by traffic generators / adapters) -------
     def note_generated(self, collective: bool) -> None:
@@ -47,10 +76,22 @@ class LatencyCollector:
             self.generated_unicast += 1
 
     # -- delivery side (called by adapters) ------------------------------
+    def _class_stats(self, name: str) -> ClassStats:
+        stats = self.per_class.get(name)
+        if stats is None:
+            stats = self.per_class[name] = ClassStats()
+        return stats
+
     def on_unicast(self, pkt: "Packet", now: int) -> None:
         self.delivered_unicast += 1
-        if pkt.created >= self.warmup:
+        measured = pkt.created >= self.warmup
+        if measured:
             self.unicast.add(now - pkt.created)
+        if pkt.cls is not None:
+            stats = self._class_stats(pkt.cls)
+            stats.delivered += 1
+            if measured:
+                stats.latency.add(now - pkt.created)
 
     def on_collective_delivery(self, op: "CollectiveOp", now: int) -> None:
         if op.created >= self.warmup:
@@ -58,8 +99,14 @@ class LatencyCollector:
 
     def on_collective_complete(self, op: "CollectiveOp", now: int) -> None:
         self.completed_collective += 1
-        if op.created >= self.warmup:
+        measured = op.created >= self.warmup
+        if measured:
             self.collective.add(now - op.created)
+        if op.cls is not None:
+            stats = self._class_stats(op.cls)
+            stats.delivered += 1
+            if measured:
+                stats.latency.add(now - op.created)
 
     def on_relay_segment(self) -> None:
         self.relay_segments += 1

@@ -29,8 +29,8 @@ from repro.experiments.latency import run_point
 from repro.sim.records import RunSummary
 from repro.traffic.workload import WorkloadSpec
 
-__all__ = ["default_rates", "sweep_rates", "compare_networks",
-           "sweep_scenarios"]
+__all__ = ["default_rates", "default_workload_rates", "sweep_rates",
+           "compare_networks", "sweep_scenarios"]
 
 
 def default_rates(n: int, msg_len: int, beta: float,
@@ -43,6 +43,15 @@ def default_rates(n: int, msg_len: int, beta: float,
     if points < 2:
         return [top]
     return [round(top * (i + 1) / points, 6) for i in range(points)]
+
+
+def default_workload_rates(points: int = 3) -> List[float]:
+    """The multiplier axis of multi-class workload sweeps: evenly
+    spaced up to 1.5x the scenario's native class rates (the single
+    source of truth for the CLI and :func:`compare_networks`)."""
+    if points < 2:
+        return [1.0]
+    return [round(1.5 * (i + 1) / points, 6) for i in range(points)]
 
 
 def _run_one(job: Tuple[WorkloadSpec, str, dict]) -> RunSummary:
@@ -101,22 +110,26 @@ def compare_networks(n: int, msg_len: int, beta: float,
                                                             "spidergon"),
                      verbose: bool = False, backend: str = "reference",
                      workers: int = 1, pattern: str = "uniform",
-                     arrival: str = "bernoulli"
+                     arrival: str = "bernoulli", workload: str = ""
                      ) -> Dict[str, List[RunSummary]]:
     """The paper's core comparison at one (N, M, beta) configuration.
 
     Both networks see the same seeds (common random numbers), so latency
     differences are attributable to the architecture, not the workload
     draw.  ``pattern`` / ``arrival`` select the workload scenario (spec
-    strings, see :mod:`repro.workloads.registry`).
+    strings, see :mod:`repro.workloads.registry`); a non-empty
+    ``workload`` selects a multi-class mix instead, with ``rates``
+    acting as multipliers on the class rates.
     """
     if rates is None:
-        rates = default_rates(n, msg_len, beta)
+        rates = (default_rates(n, msg_len, beta) if not workload
+                 else default_workload_rates())
     results: Dict[str, List[RunSummary]] = {}
     for kind in kinds:
         spec = WorkloadSpec(kind=kind, n=n, msg_len=msg_len, beta=beta,
                             rate=0.0, cycles=cycles, warmup=warmup,
-                            seed=seed, pattern=pattern, arrival=arrival)
+                            seed=seed, pattern=pattern, arrival=arrival,
+                            workload=workload)
         if verbose:  # pragma: no cover
             print(f"[{kind}] N={n} M={msg_len} beta={beta:g}")
         results[kind] = sweep_rates(spec, rates, verbose=verbose,
@@ -128,21 +141,28 @@ def sweep_scenarios(base: WorkloadSpec,
                     patterns: Sequence[str] = ("uniform",),
                     arrivals: Sequence[str] = ("bernoulli",),
                     kinds: Optional[Sequence[str]] = None,
+                    workloads: Optional[Sequence[str]] = None,
                     backend: str = "reference", workers: int = 1,
                     verbose: bool = False) -> List[RunSummary]:
-    """Run the scenario grid ``kinds x patterns x arrivals`` at one
-    rate point (``base.rate``).
+    """Run the scenario grid ``kinds x patterns x arrivals`` (or, when
+    ``workloads`` is given, ``kinds x workloads``) at one rate point
+    (``base.rate``).
 
-    Every cell is ``base`` with its kind/pattern/arrival replaced; the
-    seed is shared, so all cells see common random numbers where the
-    scenario allows it.  Results come back in grid order (kind-major,
-    then pattern, then arrival); each summary carries its scenario in
-    ``extra["pattern"]`` / ``extra["arrival"]``.  With ``workers > 1``
-    the independent cells run in a process pool with identical results.
+    Every cell is ``base`` with its kind/pattern/arrival (or multi-class
+    workload) replaced; the seed is shared, so all cells see common
+    random numbers where the scenario allows it.  Results come back in
+    grid order (kind-major); each summary carries its scenario in
+    ``extra["pattern"]`` / ``extra["arrival"]`` /
+    ``extra["workload"]``.  With ``workers > 1`` the independent cells
+    run in a process pool with identical results.
     """
     kinds = list(kinds) if kinds is not None else [base.kind]
-    grid = [base.with_kind(k).with_scenario(pattern=p, arrival=a)
-            for k in kinds for p in patterns for a in arrivals]
+    if workloads is not None:
+        grid = [base.with_kind(k).with_scenario(workload=w)
+                for k in kinds for w in workloads]
+    else:
+        grid = [base.with_kind(k).with_scenario(pattern=p, arrival=a)
+                for k in kinds for p in patterns for a in arrivals]
     if workers > 1 and len(grid) > 1:
         jobs = [(s, backend, {}) for s in grid]
         with multiprocessing.Pool(min(workers, len(jobs))) as pool:

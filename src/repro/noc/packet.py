@@ -72,10 +72,14 @@ class Packet:
     meta:
         Small per-packet scratch dict for adapter bookkeeping (relay
         direction / remaining count, branch id, ...).
+    cls:
+        Workload traffic-class name (multi-class mixes tag packets so
+        the collector can break latency down per class); ``None`` on the
+        untagged single-class path.
     """
 
     __slots__ = ("pid", "src", "dst", "size", "traffic", "created",
-                 "vclass", "op", "bitstring", "meta")
+                 "vclass", "op", "bitstring", "meta", "cls")
 
     def __init__(self, src: int, dst: int, size: int, traffic: int = UNICAST,
                  created: int = 0, op: Optional["CollectiveOp"] = None,
@@ -92,6 +96,7 @@ class Packet:
         self.op = op
         self.bitstring = bitstring
         self.meta: Dict[str, int] = {}
+        self.cls: Optional[str] = None
 
     @property
     def is_collective(self) -> bool:
@@ -116,7 +121,7 @@ class CollectiveOp:
     """
 
     __slots__ = ("src", "created", "expected", "deliveries", "completed_at",
-                 "kind")
+                 "kind", "cls")
 
     def __init__(self, src: int, created: int, expected: int,
                  kind: int = BROADCAST):
@@ -128,6 +133,8 @@ class CollectiveOp:
         self.deliveries: Dict[int, int] = {}
         self.completed_at: Optional[int] = None
         self.kind = kind
+        #: workload traffic-class name (multi-class accounting), or None
+        self.cls: Optional[str] = None
 
     def deliver(self, node: int, now: int) -> bool:
         """Record tail-flit arrival at ``node``.  Returns True on the

@@ -60,6 +60,35 @@ class RunSummary:
 
     extra: Dict[str, float] = field(default_factory=dict)
 
+    @property
+    def per_class(self) -> Dict[str, Dict[str, object]]:
+        """Per-traffic-class breakdown of a multi-class run (empty for
+        the paper's single-class workload).  Keys are class names; each
+        value carries ``generated`` / ``delivered`` / ``latency_mean`` /
+        ``samples`` (plus ``cast`` / ``msg_len`` / ``rate`` when the
+        class declarations are known).  Lives in ``extra`` so untagged
+        summaries -- and their golden fixtures -- keep their exact
+        pre-multi-class shape."""
+        return self.extra.get("classes", {})
+
+    def class_rows(self) -> list:
+        """Flat per-class dict rows for CSV emission / CLI tables
+        (empty for single-class runs)."""
+        rows = []
+        for name, info in self.per_class.items():
+            rows.append({
+                "noc": self.noc,
+                "class": name,
+                "cast": info.get("cast", "?"),
+                "M": info.get("msg_len", ""),
+                "rate": info.get("rate", ""),
+                "generated": info.get("generated", 0),
+                "delivered": info.get("delivered", 0),
+                "latency": round(float(info.get("latency_mean", 0.0)), 2),
+                "samples": info.get("samples", 0),
+            })
+        return rows
+
     def row(self) -> Dict[str, object]:
         """Flat dict for CSV emission."""
         return {

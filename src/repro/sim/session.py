@@ -95,10 +95,21 @@ class SimulationSession:
             collector=self.collector, bcast_mode=config.bcast_mode,
             clone_disabled=config.clone_disabled)
         self.backend: SimBackend = make_backend(config.backend, self.net)
-        self.mix = TrafficMix(self.net, spec.rate, spec.msg_len, spec.beta,
-                              seed=spec.seed,
-                              pattern=resolve_pattern(spec.pattern, spec.n),
-                              arrival=resolve_arrival(spec.arrival))
+        if spec.workload:
+            # multi-class mode: the workload spec names the class list;
+            # spec.rate scales every class's native rate (the sweep axis)
+            from repro.workloads.registry import resolve_workload
+            classes = resolve_workload(spec.workload, spec.n)
+            if spec.rate != 1.0:
+                classes = [c.scaled(spec.rate) for c in classes]
+            self.mix = TrafficMix(self.net, seed=spec.seed,
+                                  classes=classes)
+        else:
+            self.mix = TrafficMix(
+                self.net, spec.rate, spec.msg_len, spec.beta,
+                seed=spec.seed,
+                pattern=resolve_pattern(spec.pattern, spec.n),
+                arrival=resolve_arrival(spec.arrival))
         self._backlog_mid = 0
 
     # ------------------------------------------------------------------
@@ -129,10 +140,18 @@ class SimulationSession:
         accepted_ratio = delivered / offered if offered else 1.0
         # saturated when the network visibly cannot drain the offered
         # load: large undelivered backlog and growing in-flight population
+        if mix.classes:
+            msg_len_ref = max(c.msg_len for c in mix.classes)
+        else:
+            # v2-trace replays carry their sizes in the events; the
+            # fallback keeps a replayed run's saturation threshold
+            # aligned with its original (same max message size)
+            msg_len_ref = getattr(mix, "replay_max_len", None) \
+                or spec.msg_len
         saturated = (offered > 20
                      and accepted_ratio < 0.85
                      and backlog_end > max(self._backlog_mid,
-                                           spec.n * spec.msg_len))
+                                           spec.n * msg_len_ref))
         summary = RunSummary(
             noc=spec.kind, n=spec.n, msg_len=spec.msg_len,
             bcast_frac=spec.beta, offered_rate=spec.rate,
@@ -161,7 +180,48 @@ class SimulationSession:
         summary.extra["measured_cycles"] = spec.cycles - spec.warmup
         summary.extra["pattern"] = spec.pattern
         summary.extra["arrival"] = spec.arrival
+        if spec.workload:
+            summary.extra["workload"] = spec.workload
+        classes_extra = self._per_class_extra()
+        if classes_extra is not None:
+            summary.extra["classes"] = classes_extra
         return summary
+
+    def _per_class_extra(self):
+        """The per-class breakdown block of the summary, or ``None`` for
+        untagged single-class runs (whose summaries -- and golden
+        fixtures -- keep their exact pre-multi-class shape)."""
+        mix = self.mix
+        coll = self.collector
+        if mix.classes is not None:
+            out = {}
+            for cls in mix.classes:
+                stats = coll.per_class.get(cls.name)
+                out[cls.name] = {
+                    "cast": cls.cast,
+                    "msg_len": cls.msg_len,
+                    "rate": cls.rate,
+                    "generated": mix.class_generated.get(cls.name, 0),
+                    "delivered": stats.delivered if stats else 0,
+                    "latency_mean": stats.latency_mean if stats else 0.0,
+                    "samples": stats.latency.n if stats else 0,
+                }
+            return out
+        if mix.class_generated:
+            # v2-trace replay of a multi-class run: class declarations
+            # are not part of the trace, so only the measured breakdown
+            # is reported
+            out = {}
+            for name in sorted(mix.class_generated):
+                stats = coll.per_class.get(name)
+                out[name] = {
+                    "generated": mix.class_generated[name],
+                    "delivered": stats.delivered if stats else 0,
+                    "latency_mean": stats.latency_mean if stats else 0.0,
+                    "samples": stats.latency.n if stats else 0,
+                }
+            return out
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<SimulationSession {self.config.spec.label()} "

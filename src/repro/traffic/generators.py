@@ -189,12 +189,26 @@ class BitComplementPattern(DestinationPattern):
 
 
 class NeighbourPattern(DestinationPattern):
-    """dst = src + 1 (mod N): pure nearest-neighbour rim traffic."""
+    """dst = src + offset (mod N): pure nearest-neighbour rim traffic.
+
+    ``offset`` defaults to +1 (downstream ring direction); -1 selects
+    the upstream direction -- the two halves of a ring all-reduce
+    (reduce-scatter one way, all-gather the other) map onto the two
+    signs.
+    """
 
     name = "neighbour"
 
+    def __init__(self, n: int, offset: int = 1):
+        super().__init__(n)
+        if offset % n == 0:
+            raise ValueError(
+                f"neighbour offset {offset} is a multiple of N={n}; "
+                f"every node would target itself")
+        self.offset = offset
+
     def pick(self, src: int, rng: random.Random) -> int:
-        return (src + 1) % self.n
+        return (src + self.offset) % self.n
 
 
 class PermutationPattern(DestinationPattern):

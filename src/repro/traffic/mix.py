@@ -1,19 +1,40 @@
-"""The paper's traffic mix: pattern-chosen unicasts + a broadcast
-fraction beta, under a pluggable temporal arrival model.
+"""The paper's traffic mix, generalised to multi-class workloads.
 
-Every cycle, every node's arrival process decides whether a message is
-created (the paper uses an independent Bernoulli(rate) process per node;
-:mod:`repro.workloads.arrivals` adds bursty and trace-replay models); on
-arrival the message becomes a broadcast with probability ``beta`` and a
-pattern-chosen unicast otherwise.  Message length is ``msg_len`` flits
-for both classes (the paper's M).  The mix drives any network built by
-:func:`repro.core.api.build_network` through the adapters' uniform
-``send`` / ``send_broadcast`` interface.
+Two construction modes drive one network through the adapters' uniform
+``send`` / ``send_broadcast`` interface:
+
+* **Single-class (the paper's workload)** -- ``TrafficMix(net, rate,
+  msg_len, beta)``: every cycle, every node's arrival process decides
+  whether a message is created (independent Bernoulli(rate) per node by
+  default; :mod:`repro.workloads.arrivals` adds bursty and trace-replay
+  models); on arrival the message becomes a broadcast with probability
+  ``beta`` and a pattern-chosen unicast otherwise.  Message length is
+  ``msg_len`` flits for both outcomes (the paper's M).  This path keeps
+  the seed RNG draw order exactly, so golden fixtures pin it.
+* **Multi-class** -- ``TrafficMix(net, classes=[TrafficClass(...), ...])``:
+  each :class:`TrafficClass` (name, rate, msg_len, pattern, arrival,
+  cast) gets its own per-node arrival process and destination stream, so
+  mixes like the paper's cache-coherence motivation (short invalidate
+  broadcasts + long cache-line unicasts, Sec. 2.2) are first-class.
+  Per-class draws come from their own named RNG streams
+  (``node{i}.{name}.arrivals`` / ``.dst``), leaving the single-class
+  streams untouched.
+
+Both modes honour the ``fires()``/``arrivals_in()`` block contract, so
+every :class:`~repro.sim.backend.SimBackend` (reference / active /
+array) produces identical results on either.  A third, derived mode --
+**trace replay** -- engages automatically when the arrival model carries
+a ``repro-trace/v2`` event payload (destination, class, size and
+broadcast flag per event): injection then replays the recorded messages
+verbatim, consuming no randomness, which makes v2 replay seed- and
+pattern-independent.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union, \
+    TYPE_CHECKING
 
 from repro.noc.packet import Packet, UNICAST
 from repro.sim.rng import RngStreams
@@ -23,17 +44,130 @@ from repro.traffic.generators import (BernoulliInjector, DestinationPattern,
 if TYPE_CHECKING:  # pragma: no cover
     from repro.noc.network import Network
 
-__all__ = ["TrafficMix"]
+__all__ = ["TrafficClass", "TrafficMix", "CAST_UNICAST", "CAST_BROADCAST"]
+
+CAST_UNICAST = "unicast"
+CAST_BROADCAST = "broadcast"
+
+#: ``on_inject`` tap signature: ``(node, now, cls, dst, size, bcast)``
+#: where ``cls`` is the traffic-class name (``None`` for the untagged
+#: single-class path) and ``dst`` is ``-1`` for broadcasts.
+InjectTap = Callable[[int, int, Optional[str], int, int, bool], None]
+
+
+@dataclass(frozen=True)
+class TrafficClass:
+    """One message class of a multi-class workload.
+
+    Declarative and picklable: ``pattern`` / ``arrival`` are scenario
+    spec strings (resolved lazily against the network, via
+    :mod:`repro.workloads.registry`), so a class list can ride inside a
+    frozen :class:`~repro.traffic.workload.WorkloadSpec` and be shipped
+    to sweep worker processes.
+    """
+
+    name: str
+    rate: float               # messages / node / cycle for this class
+    msg_len: int              # flits per message (the per-class M)
+    pattern: str = "uniform"      # spatial spec (unicast classes only)
+    arrival: str = "bernoulli"    # temporal spec
+    cast: str = CAST_UNICAST      # "unicast" | "broadcast"
+
+    def __post_init__(self) -> None:
+        if not self.name or not str(self.name).strip():
+            raise ValueError("traffic class needs a non-empty name")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(
+                f"class {self.name!r}: rate must be in [0, 1] "
+                f"(got {self.rate})")
+        if self.msg_len < 1:
+            raise ValueError(
+                f"class {self.name!r}: message length must be >= 1 flit "
+                f"(got {self.msg_len})")
+        if self.cast not in (CAST_UNICAST, CAST_BROADCAST):
+            raise ValueError(
+                f"class {self.name!r}: cast must be 'unicast' or "
+                f"'broadcast' (got {self.cast!r})")
+
+    def scaled(self, factor: float) -> "TrafficClass":
+        """A copy with ``rate`` multiplied by ``factor`` (the sweep axis
+        of multi-class workloads).  The product is clamped to 1.0 --
+        one arrival per node per cycle is the injection ceiling, so a
+        sweep may push a class to saturation but can never crash on a
+        multiplier that overshoots it."""
+        from dataclasses import replace
+        return replace(self, rate=min(1.0, self.rate * factor))
+
+
+def _check_pattern_nodes(pattern: DestinationPattern, n: int,
+                         what: str) -> None:
+    """Reject a destination pattern built for a different network size.
+
+    Mirrors the arrival-model ``nodes`` check: a 16-node permutation
+    pattern silently picking out-of-range destinations on an 8-node
+    network is exactly the class of bug that should fail at
+    construction, not as a routing KeyError mid-run.
+    """
+    pat_n = getattr(pattern, "n", None)
+    if pat_n is not None and pat_n != n:
+        raise ValueError(
+            f"{what} pattern {type(pattern).__name__} is built for "
+            f"{pat_n} nodes but the network has {n}")
 
 
 class TrafficMix:
-    """Drives one network with the paper's (rate, M, beta) workload."""
+    """Drives one network with a single- or multi-class workload."""
 
-    def __init__(self, net: "Network", rate: float, msg_len: int,
-                 beta: float = 0.0, seed: int = 0,
+    def __init__(self, net: "Network", rate: Optional[float] = None,
+                 msg_len: Optional[int] = None, beta: float = 0.0,
+                 seed: int = 0,
                  pattern: Optional[DestinationPattern] = None,
                  stop_generating_at: Optional[int] = None,
-                 arrival: Optional[Callable] = None):
+                 arrival: Optional[Callable] = None,
+                 classes: Optional[Sequence[TrafficClass]] = None):
+        self.net = net
+        #: optional drain horizon: no new messages at or after this cycle
+        self.stop_generating_at = stop_generating_at
+        #: optional tap fired as ``on_inject(node, now, cls, dst, size,
+        #: bcast)`` for every injected message (the TraceRecorder hook);
+        #: ``inject`` is the single funnel both backends go through, so
+        #: taps see identical event streams whichever engine drives the
+        #: run
+        self.on_inject: Optional[InjectTap] = None
+        self.generated_unicasts = 0
+        self.generated_broadcasts = 0
+        #: per-class generation counts (empty on the untagged
+        #: single-class path)
+        self.class_generated: Dict[str, int] = {}
+        #: the declared class list (``None`` in single-class mode)
+        self.classes: Optional[Tuple[TrafficClass, ...]] = None
+        #: replay payload: per-node event lists from a v2 trace
+        self._replay: Optional[List[List[tuple]]] = None
+
+        streams = RngStreams(seed)
+        # identical streams for identical seeds => common random numbers
+        # across the Quarc/Spidergon comparison (see repro.sim.rng)
+        if classes is not None:
+            if rate is not None or msg_len is not None or \
+                    pattern is not None or arrival is not None or beta:
+                raise ValueError(
+                    "classes= is exclusive with the single-class "
+                    "rate/msg_len/beta/pattern/arrival arguments")
+            self._init_multiclass(net, classes, streams)
+            return
+        if rate is None or msg_len is None:
+            raise ValueError("single-class TrafficMix needs rate and "
+                             "msg_len (or pass classes=[...])")
+        self._init_single(net, rate, msg_len, beta, pattern, arrival,
+                          streams)
+
+    # ------------------------------------------------------------------
+    # construction: the paper's single-class workload (seed semantics)
+    # ------------------------------------------------------------------
+    def _init_single(self, net: "Network", rate: float, msg_len: int,
+                     beta: float, pattern: Optional[DestinationPattern],
+                     arrival: Optional[Callable],
+                     streams: RngStreams) -> None:
         if msg_len < 1:
             raise ValueError(f"message length must be >= 1 flit (got {msg_len})")
         if not 0.0 <= beta <= 1.0:
@@ -43,87 +177,255 @@ class TrafficMix:
             raise ValueError(
                 f"arrival model {getattr(arrival, 'spec', arrival)!r} is "
                 f"pinned to {nodes} nodes but the network has {net.n}")
-        self.net = net
         self.rate = rate
         self.msg_len = msg_len
         self.beta = beta
         self.pattern = pattern or UniformPattern(net.n)
+        _check_pattern_nodes(self.pattern, net.n, "destination")
         #: temporal model: ``arrival(node, rate, rng) -> injector`` with
         #: the fires()/arrivals_in() block contract (default Bernoulli)
         self.arrival = arrival
-        #: optional drain horizon: no new messages at or after this cycle
-        self.stop_generating_at = stop_generating_at
-        #: optional tap fired as ``on_inject(node, now)`` for every
-        #: injected message (the TraceRecorder hook); ``inject`` is the
-        #: single funnel both backends go through, so taps see identical
-        #: event streams whichever engine drives the run
-        self.on_inject: Optional[Callable[[int, int], None]] = None
 
-        streams = RngStreams(seed)
-        # identical streams for identical seeds => common random numbers
-        # across the Quarc/Spidergon comparison (see repro.sim.rng)
+        replay = getattr(arrival, "replay", None)
+        if replay is not None:
+            # repro-trace/v2: the model carries full per-event payloads;
+            # injection replays them verbatim (no draws consumed, no
+            # injectors built -- a v2 node may inject several messages
+            # in one cycle, which the fires() contract cannot express)
+            self._replay = [list(evs) for evs in replay]
+            self._replay_pos = [0] * net.n
+            self._injectors: List[object] = []
+            self._tokens: List[object] = []
+            #: largest replayed message (the saturation heuristic's
+            #: size reference, mirroring the declared max of the class
+            #: mode so a replay judges `saturated` like its original)
+            self.replay_max_len = max(
+                (ev[2] for evs in self._replay for ev in evs),
+                default=msg_len)
+            return
+
         make = arrival if arrival is not None else (
             lambda node, r, rng: BernoulliInjector(r, rng))
         self._injectors = [
             make(i, rate, streams.get(f"node{i}.arrivals"))
             for i in range(net.n)]
+        #: injection tokens, parallel to ``_injectors``: what ``inject``
+        #: receives when the matching injector fires (plain node ids
+        #: here; ``(node, class_index)`` pairs in multi-class mode)
+        self._tokens = list(range(net.n))
         self._class_rng = [streams.get(f"node{i}.class")
                            for i in range(net.n)]
         self._dst_rng = [streams.get(f"node{i}.dst") for i in range(net.n)]
-        self.generated_unicasts = 0
-        self.generated_broadcasts = 0
 
+    # ------------------------------------------------------------------
+    # construction: multi-class mode
+    # ------------------------------------------------------------------
+    def _init_multiclass(self, net: "Network",
+                         classes: Sequence[TrafficClass],
+                         streams: RngStreams) -> None:
+        # Imported lazily: the registry imports repro.traffic.generators,
+        # so a module-level import here would be circular in spirit (and
+        # would force every mix consumer to pay the registry import).
+        from repro.workloads.registry import (resolve_arrival,
+                                              resolve_pattern)
+        classes = tuple(classes)
+        if not classes:
+            raise ValueError("multi-class TrafficMix needs at least one "
+                             "TrafficClass")
+        seen = set()
+        for cls in classes:
+            if cls.name in seen:
+                raise ValueError(f"duplicate traffic class {cls.name!r}")
+            seen.add(cls.name)
+        self.classes = classes
+        self.class_generated = {cls.name: 0 for cls in classes}
+
+        self._cls_patterns: List[Optional[DestinationPattern]] = []
+        self._cls_arrivals = []
+        for cls in classes:
+            if cls.cast == CAST_UNICAST:
+                pat: Optional[DestinationPattern]
+                if isinstance(cls.pattern, DestinationPattern):
+                    pat = cls.pattern
+                else:
+                    pat = resolve_pattern(cls.pattern, net.n)
+                _check_pattern_nodes(pat, net.n, f"class {cls.name!r}")
+                self._cls_patterns.append(pat)
+            else:
+                self._cls_patterns.append(None)
+            model = (cls.arrival if callable(cls.arrival)
+                     else resolve_arrival(cls.arrival))
+            if getattr(model, "replay", None) is not None:
+                raise ValueError(
+                    f"class {cls.name!r}: a v2 trace replays a whole "
+                    f"recorded run (destinations, classes and sizes "
+                    f"included) and cannot serve as a per-class arrival "
+                    f"model; replay it via the top-level arrival "
+                    f"(e.g. repro trace replay), or supply a times-only "
+                    f"v1 trace file (still fully supported) for "
+                    f"per-class arrival timing")
+            nodes = getattr(model, "nodes", None)
+            if nodes is not None and nodes != net.n:
+                raise ValueError(
+                    f"class {cls.name!r}: arrival model "
+                    f"{getattr(model, 'spec', model)!r} is pinned to "
+                    f"{nodes} nodes but the network has {net.n}")
+            self._cls_arrivals.append(model)
+
+        # (node-major, class-minor) token order: ``generate`` fires and
+        # ``precompute_arrivals`` buckets in this order, so both drivers
+        # inject a cycle's messages in the identical sequence.
+        self._injectors = []
+        self._tokens = []
+        self._cls_dst_rng: List[List[object]] = []
+        for i in range(net.n):
+            self._cls_dst_rng.append(
+                [streams.get(f"node{i}.{cls.name}.dst")
+                 for cls in classes])
+            for k, cls in enumerate(classes):
+                inj = self._cls_arrivals[k](
+                    i, cls.rate, streams.get(f"node{i}.{cls.name}.arrivals"))
+                self._injectors.append(inj)
+                self._tokens.append((i, k))
+
+    # ------------------------------------------------------------------
+    # generation
+    # ------------------------------------------------------------------
     def generate(self, now: int) -> None:
         """Per-cycle arrival pass; call before ``net.step(now)``."""
         if (self.stop_generating_at is not None
                 and now >= self.stop_generating_at):
             return
-        for i, inj in enumerate(self._injectors):
+        if self._replay is not None:
+            inject = self.inject
+            pos = self._replay_pos
+            for node, evs in enumerate(self._replay):
+                while pos[node] < len(evs) and evs[pos[node]][0] == now:
+                    inject(node, now)
+            return
+        for tok, inj in zip(self._tokens, self._injectors):
             if inj.fires():
-                self.inject(i, now)
+                self.inject(tok, now)
 
-    def inject(self, node: int, now: int) -> None:
-        """Emit one message at ``node``: the class/destination draws and
-        the adapter hand-off that :meth:`generate` performs for a firing
-        injector.  Exposed so block-based drivers (the active-set backend)
-        can replay precomputed arrivals with identical RNG consumption."""
-        if self.on_inject is not None:
-            self.on_inject(node, now)
+    def inject(self, token, now: int) -> None:
+        """Emit one message: the class/destination draws and the adapter
+        hand-off that :meth:`generate` performs for a firing injector.
+        ``token`` is a node id (single-class / replay) or a ``(node,
+        class_index)`` pair (multi-class).  Exposed so block-based
+        drivers (the fast-forwarding backends) can replay precomputed
+        arrivals with identical RNG consumption."""
+        if self._replay is not None:
+            self._inject_replay(token, now)
+            return
+        if type(token) is tuple:
+            self._inject_class(token[0], token[1], now)
+            return
+        node = token
         if self.beta and self._class_rng[node].random() < self.beta:
+            if self.on_inject is not None:
+                self.on_inject(node, now, None, -1, self.msg_len, True)
             self.net.adapters[node].send_broadcast(self.msg_len, now)
             self.generated_broadcasts += 1
         else:
             dst = self.pattern.pick(node, self._dst_rng[node])
+            if self.on_inject is not None:
+                self.on_inject(node, now, None, dst, self.msg_len, False)
             pkt = Packet(node, dst, self.msg_len, UNICAST, created=now)
             self.net.adapters[node].send(pkt, now)
             self.generated_unicasts += 1
 
-    def precompute_arrivals(self, start: int, stop: int
-                            ) -> Dict[int, List[int]]:
-        """Draw every node's arrival process for cycles ``[start, stop)``.
+    def _inject_class(self, node: int, k: int, now: int) -> None:
+        cls = self.classes[k]
+        name = cls.name
+        if cls.cast == CAST_BROADCAST:
+            if self.on_inject is not None:
+                self.on_inject(node, now, name, -1, cls.msg_len, True)
+            op = self.net.adapters[node].send_broadcast(cls.msg_len, now)
+            op.cls = name
+            self.generated_broadcasts += 1
+        else:
+            dst = self._cls_patterns[k].pick(node,
+                                             self._cls_dst_rng[node][k])
+            if self.on_inject is not None:
+                self.on_inject(node, now, name, dst, cls.msg_len, False)
+            pkt = Packet(node, dst, cls.msg_len, UNICAST, created=now)
+            pkt.cls = name
+            self.net.adapters[node].send(pkt, now)
+            self.generated_unicasts += 1
+        self.class_generated[name] += 1
 
-        Returns ``{cycle: [node, ...]}`` (nodes ascending within a cycle).
-        Consumes each node's private arrival stream exactly as ``generate``
+    def _inject_replay(self, node: int, now: int) -> None:
+        """Replay the node's next recorded event verbatim (v2 traces)."""
+        i = self._replay_pos[node]
+        _, dst, size, name, bcast = self._replay[node][i]
+        self._replay_pos[node] = i + 1
+        if self.on_inject is not None:
+            self.on_inject(node, now, name, dst, size, bcast)
+        if bcast:
+            op = self.net.adapters[node].send_broadcast(size, now)
+            op.cls = name
+            self.generated_broadcasts += 1
+        else:
+            pkt = Packet(node, dst, size, UNICAST, created=now)
+            pkt.cls = name
+            self.net.adapters[node].send(pkt, now)
+            self.generated_unicasts += 1
+        if name is not None:
+            self.class_generated[name] = \
+                self.class_generated.get(name, 0) + 1
+
+    def precompute_arrivals(self, start: int, stop: int
+                            ) -> Dict[int, List[object]]:
+        """Draw every arrival process for cycles ``[start, stop)``.
+
+        Returns ``{cycle: [token, ...]}`` with tokens in the exact order
+        :meth:`generate` would inject them within that cycle (node
+        ascending; class order within a node in multi-class mode).
+        Consumes each process's private stream exactly as ``generate``
         would over the same window (see
         :meth:`~repro.traffic.generators.BernoulliInjector.arrivals_in`),
-        so interleaving block precomputation with per-cycle :meth:`inject`
-        calls reproduces ``generate``'s traffic flit-for-flit.
-        Class/destination streams are *not* touched here; they are drawn
-        by :meth:`inject` at the arrival cycle, in the same per-node order
-        as the reference loop.
+        so interleaving block precomputation with per-cycle
+        :meth:`inject` calls reproduces ``generate``'s traffic
+        flit-for-flit.  Class/destination streams are *not* touched
+        here; they are drawn by :meth:`inject` at the arrival cycle, in
+        the same order as the reference loop.
         """
-        by_cycle: Dict[int, List[int]] = {}
+        by_cycle: Dict[int, List[object]] = {}
         if self.stop_generating_at is not None:
             stop = min(stop, self.stop_generating_at)
         if stop <= start:
             return by_cycle
-        for i, inj in enumerate(self._injectors):
+        if self._replay is not None:
+            # replay events are absolute-time and pre-sorted (t, node,
+            # record order); one token per event keeps inject() popping
+            # each node's records in sequence
+            pos = self._replay_pos
+            scan = getattr(self, "_replay_scan", None)
+            if scan is None:
+                scan = self._replay_scan = list(pos)
+            for node, evs in enumerate(self._replay):
+                i = scan[node]
+                while i < len(evs) and evs[i][0] < stop:
+                    t = evs[i][0]
+                    if t >= start:
+                        lst = by_cycle.get(t)
+                        if lst is None:
+                            by_cycle[t] = [node]
+                        else:
+                            lst.append(node)
+                    i += 1
+                scan[node] = i
+            # within a cycle, tokens must come out node-ascending with
+            # record order preserved per node -- the per-node append
+            # above already guarantees it
+            return by_cycle
+        for tok, inj in zip(self._tokens, self._injectors):
             for t in inj.arrivals_in(start, stop):
                 lst = by_cycle.get(t)
                 if lst is None:
-                    by_cycle[t] = [i]
+                    by_cycle[t] = [tok]
                 else:
-                    lst.append(i)
+                    lst.append(tok)
         return by_cycle
 
     @property

@@ -12,12 +12,22 @@ reproducible from its parameter row alone.
 ``"bursty:on=0.3,len=8"``, ``"trace:path=run.jsonl"``); they are
 validated at construction so a typo fails at the spec, not deep inside a
 run.
+
+``workload`` selects a **multi-class** mix instead of the single-class
+``(rate, msg_len, beta, pattern, arrival)`` axes: either a named
+application scenario (``"cache_coherence:storms=true"``,
+``"allreduce:chunk=8"``) or a raw class list
+(``"classes:inv=broadcast,len=2,rate=0.002;fill=uniform,len=10,rate=0.012"``).
+When set, ``rate`` becomes a *multiplier* on every class's native rate
+(1.0 = the scenario as declared -- the sweep axis of application
+workloads) and ``msg_len`` / ``beta`` / ``pattern`` / ``arrival`` are
+ignored (each class carries its own).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Iterator, Optional, Sequence
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, Iterator, Optional, Sequence
 
 __all__ = ["WorkloadSpec"]
 
@@ -30,13 +40,14 @@ class WorkloadSpec:
     n: int                    # network size N
     msg_len: int              # message length M (flits)
     beta: float               # broadcast fraction
-    rate: float               # messages / node / cycle
+    rate: float               # messages / node / cycle (workload: multiplier)
     cycles: int = 12_000      # total simulated cycles
     warmup: int = 3_000       # cycles before measurement starts
     seed: int = 1
     buffer_depth: int = 4
     pattern: str = "uniform"      # spatial scenario spec string
     arrival: str = "bernoulli"    # temporal scenario spec string
+    workload: str = ""            # multi-class workload spec (optional)
 
     def __post_init__(self) -> None:
         if self.cycles <= self.warmup:
@@ -48,9 +59,12 @@ class WorkloadSpec:
             raise ValueError(f"beta must be in [0,1] (got {self.beta})")
         # Imported lazily: keeps this module importable without pulling
         # the registry in for consumers that never build a spec.
-        from repro.workloads.registry import ARRIVAL, PATTERN, check_spec
+        from repro.workloads.registry import (ARRIVAL, PATTERN, check_spec,
+                                              check_workload)
         check_spec(self.pattern, PATTERN)
         check_spec(self.arrival, ARRIVAL)
+        if self.workload:
+            check_workload(self.workload)
 
     def with_rate(self, rate: float) -> "WorkloadSpec":
         return replace(self, rate=rate)
@@ -63,16 +77,32 @@ class WorkloadSpec:
             yield self.with_rate(r)
 
     def with_scenario(self, pattern: Optional[str] = None,
-                      arrival: Optional[str] = None) -> "WorkloadSpec":
+                      arrival: Optional[str] = None,
+                      workload: Optional[str] = None) -> "WorkloadSpec":
         """A copy with a different workload scenario."""
         changes = {}
         if pattern is not None:
             changes["pattern"] = pattern
         if arrival is not None:
             changes["arrival"] = arrival
+        if workload is not None:
+            changes["workload"] = workload
         return replace(self, **changes) if changes else self
 
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready dict, omitting fields still at the value the
+        spec format had before they existed -- so artefacts produced
+        from pre-multi-class specs (golden fixtures, trace metadata)
+        keep their exact serialized shape."""
+        out = asdict(self)
+        if not self.workload:
+            del out["workload"]
+        return out
+
     def label(self) -> str:
+        if self.workload:
+            return (f"{self.kind} N={self.n} x{self.rate:g} "
+                    f"wl={self.workload}")
         base = (f"{self.kind} N={self.n} M={self.msg_len} "
                 f"beta={self.beta:g} rate={self.rate:g}")
         if self.pattern != "uniform":

@@ -1,4 +1,5 @@
-"""Named workload scenarios: spatial patterns x temporal arrival models.
+"""Named workload scenarios: spatial patterns x temporal arrival models
+x multi-class application workloads.
 
 The paper's figures use one workload (uniform unicasts plus a broadcast
 fraction beta); this package generalises the simulator into a NoC
@@ -11,50 +12,78 @@ workload harness.  A *scenario* is resolved from a compact spec string::
 and plugs straight into :class:`~repro.traffic.mix.TrafficMix` -- or,
 one level up, rides inside a declarative
 :class:`~repro.traffic.workload.WorkloadSpec` (``pattern=`` /
-``arrival=`` fields) through :class:`~repro.sim.session.SimulationSession`,
-the CLI (``--pattern`` / ``--arrival``, ``repro scenarios``,
-``repro trace``), sweep grids and benchmarks.
+``arrival=`` / ``workload=`` fields) through
+:class:`~repro.sim.session.SimulationSession`, the CLI (``--pattern`` /
+``--arrival`` / ``--workload``, ``repro scenarios``, ``repro trace``),
+sweep grids and benchmarks.
+
+Multi-class workloads resolve the same way::
+
+    from repro.workloads import resolve_workload
+    classes = resolve_workload("cache_coherence:storms=true", n=16)
+    classes = resolve_workload(
+        "classes:inv=broadcast,len=2,rate=0.002;"
+        "fill=uniform,len=10,rate=0.012", n=16)
 
 Modules
 -------
 :mod:`repro.workloads.registry`
-    The scenario registry, spec-string grammar and resolvers.
+    The scenario registry, spec-string grammar and resolvers (patterns,
+    arrivals and multi-class workloads).
 :mod:`repro.workloads.arrivals`
     Temporal models beyond Bernoulli: on/off bursty (MMPP) and
     deterministic trace replay, both honouring the
-    ``fires()``/``arrivals_in()`` block contract the active backend's
-    idle fast-forward relies on.
+    ``fires()``/``arrivals_in()`` block contract the fast-forwarding
+    backends rely on.
 :mod:`repro.workloads.trace`
-    The JSONL trace format, :class:`~repro.workloads.trace.TraceRecorder`
-    and :class:`~repro.workloads.trace.Trace` record/replay.
+    The JSONL trace formats (v1 arrival times; v2 full injection
+    records), :class:`~repro.workloads.trace.TraceRecorder` and
+    :class:`~repro.workloads.trace.Trace` record/replay.
+:mod:`repro.workloads.appmodels`
+    Application-level scenarios built on multi-class mixes
+    (``cache_coherence``, ``allreduce``), registered as first-class
+    named workloads.
 """
 
 from repro.workloads.arrivals import BurstyInjector, TraceInjector
-from repro.workloads.registry import (ARRIVAL, PATTERN, ArrivalModel,
-                                      ScenarioInfo, check_spec,
+from repro.workloads.registry import (ARRIVAL, PATTERN, WORKLOAD,
+                                      ArrivalModel, ScenarioInfo,
+                                      check_spec, check_workload,
                                       format_spec, get_scenario,
-                                      list_scenarios, parse_spec,
-                                      register_scenario, resolve_arrival,
-                                      resolve_pattern, scenario_table)
-from repro.workloads.trace import TRACE_FORMAT, Trace, TraceRecorder
+                                      list_scenarios, parse_classes,
+                                      parse_spec, register_scenario,
+                                      resolve_arrival, resolve_pattern,
+                                      resolve_workload, scenario_table)
+from repro.workloads.trace import (TRACE_FORMAT, TRACE_FORMAT_V2, Trace,
+                                   TraceRecorder)
+from repro.workloads import appmodels as _appmodels  # noqa: F401 (registers)
+from repro.workloads.appmodels import (allreduce_classes,
+                                       cache_coherence_classes)
 
 __all__ = [
     "ARRIVAL",
     "PATTERN",
+    "WORKLOAD",
     "ArrivalModel",
     "BurstyInjector",
     "ScenarioInfo",
     "TRACE_FORMAT",
+    "TRACE_FORMAT_V2",
     "Trace",
     "TraceInjector",
     "TraceRecorder",
+    "allreduce_classes",
+    "cache_coherence_classes",
     "check_spec",
+    "check_workload",
     "format_spec",
     "get_scenario",
     "list_scenarios",
+    "parse_classes",
     "parse_spec",
     "register_scenario",
     "resolve_arrival",
     "resolve_pattern",
+    "resolve_workload",
     "scenario_table",
 ]

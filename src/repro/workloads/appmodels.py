@@ -1,0 +1,107 @@
+"""Application-level workload scenarios: synthetic traffic models of
+real MPSoC applications, expressed as multi-class mixes.
+
+The paper motivates the Quarc with cache-coherence traffic (Sec. 2.2):
+short invalidate *broadcasts* mixed with long cache-line *unicasts* --
+two message classes with different sizes, casts and rates.  The
+:mod:`repro.workloads` registry makes such models first-class named
+scenarios: each builder here returns a list of
+:class:`~repro.traffic.mix.TrafficClass` and registers under the
+``workload`` kind, so ``repro run --workload cache_coherence:...``,
+``WorkloadSpec(workload=...)``, sweeps and benchmarks all reach it with
+no further wiring (``repro scenarios list`` discovers it).
+
+Models
+------
+``cache_coherence``
+    N cores running a shared-memory workload.  Each shared-line write
+    triggers an invalidate broadcast to all other caches (class
+    ``inv``); read misses fetch the line from its home node as ordinary
+    unicasts (class ``fill``).  ``storms=true`` makes the invalidations
+    bursty (write-heavy phases), the regime where the Spidergon's
+    broadcast-by-unicast relay chain falls furthest behind.
+``allreduce``
+    A ring all-reduce: reduce-scatter chunks flow downstream (class
+    ``scatter``, dst = src+1), all-gather chunks flow upstream (class
+    ``gather``, dst = src-1), and a low-rate completion ``barrier``
+    broadcast models the end-of-iteration notification.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.traffic.mix import TrafficClass
+from repro.workloads.registry import (WORKLOAD, ScenarioInfo,
+                                      register_scenario)
+
+__all__ = ["cache_coherence_classes", "allreduce_classes"]
+
+
+def cache_coherence_classes(n: int, read_rate: float = 0.012,
+                            write_rate: float = 0.002,
+                            data_len: int = 10, inv_len: int = 2,
+                            storms: bool = False) -> List[TrafficClass]:
+    """The paper's motivating MPSoC cache-coherence mix (Sec. 2.2).
+
+    ``fill``: read-miss line fetches, uniform home nodes, ``data_len``
+    flits (header + cache line + tail).  ``inv``: shared-write
+    invalidate broadcasts, ``inv_len`` flits (address-only).  With
+    ``storms=true`` the invalidations arrive in bursts -- the
+    write-intensive phases that stress the broadcast path hardest.
+    """
+    inv_arrival = "bursty:on=0.2,len=6" if storms else "bernoulli"
+    return [
+        TrafficClass("fill", rate=read_rate, msg_len=data_len,
+                     pattern="uniform", cast="unicast"),
+        TrafficClass("inv", rate=write_rate, msg_len=inv_len,
+                     arrival=inv_arrival, cast="broadcast"),
+    ]
+
+
+def allreduce_classes(n: int, chunk: int = 8, rate: float = 0.01,
+                      barrier_rate: float = 0.0005,
+                      barrier_len: int = 2) -> List[TrafficClass]:
+    """A steady-state ring all-reduce.
+
+    Reduce-scatter chunks travel downstream and all-gather chunks
+    upstream (``neighbour`` pattern with offsets +1 / -1), loading both
+    ring directions evenly; a sparse ``barrier`` broadcast models the
+    per-iteration completion notification.
+    """
+    return [
+        TrafficClass("scatter", rate=rate, msg_len=chunk,
+                     pattern="neighbour:offset=1", cast="unicast"),
+        TrafficClass("gather", rate=rate, msg_len=chunk,
+                     pattern="neighbour:offset=-1", cast="unicast"),
+        TrafficClass("barrier", rate=barrier_rate, msg_len=barrier_len,
+                     cast="broadcast"),
+    ]
+
+
+register_scenario(ScenarioInfo(
+    name="cache_coherence", kind=WORKLOAD,
+    summary="MPSoC coherence traffic: cache-line fills (unicast) + "
+            "invalidation broadcasts (the paper's Sec. 2.2 workload)",
+    params={"read_rate": "line fills per core per cycle (default 0.012)",
+            "write_rate": "shared writes -> invalidate broadcasts "
+                          "(default 0.002)",
+            "data_len": "cache-line fill size in flits (default 10)",
+            "inv_len": "invalidate message size in flits (default 2)",
+            "storms": "true for bursty invalidation storms "
+                      "(default false)"},
+    aliases=("coherence",),
+    build=cache_coherence_classes))
+
+register_scenario(ScenarioInfo(
+    name="allreduce", kind=WORKLOAD,
+    summary="ring all-reduce: reduce-scatter + all-gather chunk streams "
+            "on both ring directions, plus a barrier broadcast",
+    params={"chunk": "chunk size in flits (default 8)",
+            "rate": "chunks per node per cycle, per direction "
+                    "(default 0.01)",
+            "barrier_rate": "barrier broadcasts per node per cycle "
+                            "(default 0.0005)",
+            "barrier_len": "barrier message size in flits (default 2)"},
+    aliases=("all-reduce", "all_reduce"),
+    build=allreduce_classes))

@@ -40,10 +40,12 @@ from repro.workloads.trace import Trace
 __all__ = ["ScenarioInfo", "ArrivalModel", "parse_spec", "format_spec",
            "list_scenarios", "register_scenario", "get_scenario",
            "check_spec", "resolve_pattern", "resolve_arrival",
+           "resolve_workload", "check_workload", "parse_classes",
            "scenario_table"]
 
 PATTERN = "pattern"
 ARRIVAL = "arrival"
+WORKLOAD = "workload"
 
 
 @dataclass(frozen=True)
@@ -86,6 +88,10 @@ class ArrivalModel:
         self.spec = spec
         self.nodes = nodes
         self._make = make
+        #: v2-trace replay payload (per-node event lists); when set,
+        #: :class:`~repro.traffic.mix.TrafficMix` bypasses the injector
+        #: factory and replays the recorded messages verbatim
+        self.replay = None
 
     def __call__(self, node: int, rate: float,
                  rng: random.Random) -> object:
@@ -286,11 +292,157 @@ def resolve_arrival(spec: str) -> ArrivalModel:
     return model
 
 
+# ----------------------------------------------------------------------
+# multi-class workload specs
+# ----------------------------------------------------------------------
+def _extend_spec(spec: str, item: str) -> str:
+    """Append one ``key=value`` parameter to a pattern/arrival spec."""
+    return spec + ("," if ":" in spec else ":") + item
+
+
+def parse_classes(body: str, spec: str = ""):
+    """Parse the body of a ``classes:`` workload spec into
+    :class:`~repro.traffic.mix.TrafficClass` instances.
+
+    Grammar (``;`` separates classes, ``,`` separates items)::
+
+        <name>=<head>[,key=value...][;<name2>=...]
+
+    where ``head`` is ``broadcast`` or a spatial pattern name (with its
+    first parameter attached, e.g. ``hotspot:node=0``).  The reserved
+    class-level keys are ``len``/``msg_len`` (flits, required), ``rate``
+    (messages/node/cycle, required), ``cast`` and ``arrival``.  Any
+    other ``key=value`` item extends the pattern spec -- or, once an
+    ``arrival=`` item has appeared, the arrival spec (so
+    ``arrival=bursty:on=0.3,len=8`` reads ``len`` as the *burst* length;
+    put the class ``len`` before ``arrival=``).
+
+    Example (the paper's cache-coherence mix, Sec. 2.2)::
+
+        inv=broadcast,len=2,rate=0.002;fill=hotspot:node=0,len=10,rate=0.012
+    """
+    from repro.traffic.mix import TrafficClass
+    label = spec or f"classes:{body}"
+    chunks = [c.strip() for c in body.split(";") if c.strip()]
+    if not chunks:
+        raise ValueError(f"workload spec {label!r} declares no classes")
+    classes = []
+    names = set()
+    for chunk in chunks:
+        items = [it.strip() for it in chunk.split(",")]
+        name, eq, head = items[0].partition("=")
+        name = name.strip().lower()
+        head = head.strip()
+        if not eq or not name or not head:
+            raise ValueError(
+                f"bad class {items[0]!r} in workload spec {label!r}; "
+                f"expected <name>=<broadcast-or-pattern>")
+        if name in names:
+            raise ValueError(
+                f"duplicate class {name!r} in workload spec {label!r}")
+        names.add(name)
+        cast = "broadcast" if head.lower() == "broadcast" else "unicast"
+        pattern = "uniform" if cast == "broadcast" else head
+        arrival = "bernoulli"
+        rate = msg_len = None
+        seen_arrival = False
+        for item in items[1:]:
+            key, eq, value = item.partition("=")
+            key = key.strip().lower()
+            value = value.strip()
+            if not eq or not key or not value:
+                raise ValueError(
+                    f"bad parameter {item!r} for class {name!r} in "
+                    f"workload spec {label!r}; expected key=value")
+            if seen_arrival:
+                arrival = _extend_spec(arrival, item)
+            elif key in ("len", "msg_len"):
+                msg_len = _coerce(value)
+            elif key == "rate":
+                rate = _coerce(value)
+            elif key == "cast":
+                cast = value.lower()
+            elif key == "arrival":
+                arrival = value
+                seen_arrival = True
+            else:
+                if cast == "broadcast" and pattern == "uniform":
+                    raise ValueError(
+                        f"class {name!r} in workload spec {label!r}: "
+                        f"parameter {item!r} has no pattern to attach to "
+                        f"(broadcast classes take no pattern)")
+                pattern = _extend_spec(pattern, item)
+        if rate is None or msg_len is None:
+            raise ValueError(
+                f"class {name!r} in workload spec {label!r} needs both "
+                f"rate= and len= (got rate={rate!r}, len={msg_len!r})")
+        if not isinstance(msg_len, int) or isinstance(msg_len, bool):
+            raise ValueError(
+                f"class {name!r} in workload spec {label!r}: len must "
+                f"be an integer flit count (got {msg_len!r})")
+        if not isinstance(rate, (int, float)) or isinstance(rate, bool):
+            raise ValueError(
+                f"class {name!r} in workload spec {label!r}: rate must "
+                f"be a number (got {rate!r})")
+        if cast == "unicast":
+            check_spec(pattern, PATTERN)
+        check_spec(arrival, ARRIVAL)
+        classes.append(TrafficClass(name=name, rate=float(rate),
+                                    msg_len=msg_len, pattern=pattern,
+                                    arrival=arrival, cast=cast))
+    return classes
+
+
+def _split_workload(spec: str):
+    """Split a workload spec into ``(name, body)`` without the normal
+    ``key=value`` parsing (the ``classes:`` body has its own grammar)."""
+    if not isinstance(spec, str) or not spec.strip():
+        raise ValueError(f"empty workload spec {spec!r}")
+    name, _, body = spec.strip().partition(":")
+    name = name.strip().lower()
+    if not name:
+        raise ValueError(f"workload spec {spec!r} has no name")
+    return name, body.strip()
+
+
+def check_workload(spec: str) -> ScenarioInfo:
+    """Validate a workload spec string (name, kind, parameters -- and
+    for raw ``classes:`` specs the full class grammar) without needing a
+    network size.  Used by
+    :class:`~repro.traffic.workload.WorkloadSpec` for early errors."""
+    name, body = _split_workload(spec)
+    if name == "classes":
+        parse_classes(body, spec)
+        return get_scenario("classes", WORKLOAD)
+    return _resolve(spec, WORKLOAD)[0]
+
+
+def resolve_workload(spec: str, n: int):
+    """Build the :class:`~repro.traffic.mix.TrafficClass` list a
+    workload spec names, for an ``n``-node network.
+
+    ``classes:<grammar>`` builds the declared mix verbatim; any other
+    name is looked up in the registry's application-workload scenarios
+    (``cache_coherence``, ``allreduce``, ...), whose ``build(n,
+    **params)`` returns the class list.
+    """
+    name, body = _split_workload(spec)
+    if name == "classes":
+        return parse_classes(body, spec)
+    info, params = _resolve(spec, WORKLOAD)
+    classes = list(info.build(n, **params))
+    if not classes:
+        raise ValueError(f"workload {info.name!r} built no classes")
+    return classes
+
+
 def scenario_table() -> str:
     """A human-readable listing for ``repro scenarios list``."""
     lines = []
     for kind, title in ((PATTERN, "Spatial destination patterns"),
-                        (ARRIVAL, "Temporal arrival models")):
+                        (ARRIVAL, "Temporal arrival models"),
+                        (WORKLOAD, "Application workloads "
+                                   "(multi-class mixes)")):
         lines.append(f"{title}:")
         for info in list_scenarios(kind):
             alias = (f"  (aliases: {', '.join(info.aliases)})"
@@ -302,6 +454,10 @@ def scenario_table() -> str:
         lines.append("")
     lines.append("Spec grammar: name[:key=value[,key=value...]], e.g. "
                  "'hotspot:node=0,p=0.2' or 'bursty:on=0.3,len=8'.")
+    lines.append("Multi-class grammar: classes:<name>=<broadcast|pattern>"
+                 ",len=<flits>,rate=<r>[,arrival=...][;<name2>=...], "
+                 "e.g. 'classes:inv=broadcast,len=2,rate=0.002;"
+                 "fill=uniform,len=10,rate=0.012'.")
     return "\n".join(lines)
 
 
@@ -325,8 +481,8 @@ def _build_bit_complement(n: int) -> DestinationPattern:
     return BitComplementPattern(n)
 
 
-def _build_neighbour(n: int) -> DestinationPattern:
-    return NeighbourPattern(n)
+def _build_neighbour(n: int, offset: int = 1) -> DestinationPattern:
+    return NeighbourPattern(n, offset=offset)
 
 
 def _build_permutation(n: int, seed: int = 0) -> DestinationPattern:
@@ -352,10 +508,16 @@ def _build_bursty(on: float = 0.3, **kw) -> ArrivalModel:
 def _build_trace(path: str) -> ArrivalModel:
     trace = Trace.load(str(path))
     per_node = trace.per_node()
-    return ArrivalModel(
+    model = ArrivalModel(
         "trace", f"trace:path={path}",
         lambda node, rate, rng: TraceInjector(per_node[node]),
         nodes=trace.n)
+    if trace.version == 2:
+        # full per-event payloads: TrafficMix switches to verbatim
+        # replay (seed-independent; supports multi-class bursts where
+        # one node injects several messages in one cycle)
+        model.replay = trace.per_node_events()
+    return model
 
 
 register_scenario(ScenarioInfo(
@@ -379,7 +541,9 @@ register_scenario(ScenarioInfo(
     build=_build_bit_complement))
 register_scenario(ScenarioInfo(
     name="neighbour", kind=PATTERN,
-    summary="dst = src+1 mod N, pure nearest-neighbour rim traffic",
+    summary="dst = src+offset mod N, pure nearest-neighbour rim traffic",
+    params={"offset": "ring offset, +1 downstream / -1 upstream "
+                      "(default 1)"},
     aliases=("neighbor",),
     build=_build_neighbour))
 register_scenario(ScenarioInfo(
@@ -401,9 +565,19 @@ register_scenario(ScenarioInfo(
     build=_build_bursty))
 register_scenario(ScenarioInfo(
     name="trace", kind=ARRIVAL,
-    summary="deterministic replay of a recorded JSONL arrival trace",
+    summary="deterministic replay of a recorded JSONL arrival trace "
+            "(v2 traces replay destinations/classes too)",
     params={"path": "trace file written by 'repro trace record' "
                     "(commas cannot appear in the path)"},
     required=("path",),
     string_params=("path",),
     build=_build_trace))
+
+register_scenario(ScenarioInfo(
+    name="classes", kind=WORKLOAD,
+    summary="a raw multi-class mix declared inline (see the "
+            "multi-class grammar below)",
+    params={"<name>": "one chunk per class: <name>=<broadcast|pattern>,"
+                      "len=<flits>,rate=<r>[,arrival=<spec>]; chunks "
+                      "separated by ';'"},
+    build=None))

@@ -51,11 +51,12 @@ def make_config(kind: str = "quarc", n: int = 8, msg_len: int = 4,
                 beta: float = 0.1, rate: float = 0.03, cycles: int = 900,
                 warmup: int = 200, seed: int = 1,
                 pattern: str = "uniform", arrival: str = "bernoulli",
-                **cfg) -> RunConfig:
+                workload: str = "", **cfg) -> RunConfig:
     """A :class:`RunConfig` with fuzz-friendly defaults."""
     spec = WorkloadSpec(kind=kind, n=n, msg_len=msg_len, beta=beta,
                         rate=rate, cycles=cycles, warmup=warmup, seed=seed,
-                        pattern=pattern, arrival=arrival)
+                        pattern=pattern, arrival=arrival,
+                        workload=workload)
     return RunConfig(spec=spec, **cfg)
 
 
@@ -164,6 +165,29 @@ _FUZZ_PATTERNS = ("uniform", "hotspot:node=1,p=0.3", "transpose",
 _POW2_ONLY_PATTERNS = ("transpose", "bit-complement")
 _FUZZ_ARRIVALS = ("bernoulli", "bursty:on=0.25,len=6",
                   "bursty:on=0.6,len=2")
+#: fraction of fuzz cases that run a randomized multi-class workload
+#: (``classes:`` spec) instead of the single-class axes
+_FUZZ_MULTICLASS_P = 0.25
+
+
+def _random_classes_spec(rng: random.Random, n: int) -> str:
+    """A randomized ``classes:`` workload spec: 2-3 classes mixing
+    casts, sizes, patterns and arrival models."""
+    chunks = []
+    for j in range(rng.choice((2, 2, 3))):
+        rate = round(10 ** rng.uniform(-3.2, -1.3), 5)
+        length = rng.choice((1, 2, 4, 9))
+        if rng.random() < 0.35:
+            head = "broadcast"
+        else:
+            head = rng.choice(_FUZZ_PATTERNS)
+            if n & (n - 1) and head in _POW2_ONLY_PATTERNS:
+                head = "uniform"
+        chunk = f"c{j}={head},rate={rate},len={length}"
+        if rng.random() < 0.4:
+            chunk += ",arrival=bursty:on=0.3,len=6"
+        chunks.append(chunk)
+    return "classes:" + ";".join(chunks)
 
 
 def random_configs(seed: int, count: int,
@@ -176,6 +200,9 @@ def random_configs(seed: int, count: int,
     The rate axis is sampled log-uniformly from deep-idle to past
     saturation, because the two regimes exercise entirely different
     backend code paths (fast-forward vs full-network arbitration).
+    About a quarter of the cases run a randomized **multi-class**
+    workload instead (mixed casts / sizes / arrivals per class), so the
+    per-class accounting and varying message lengths hit every backend.
     """
     rng = random.Random(seed)
     for i in range(count):
@@ -187,6 +214,15 @@ def random_configs(seed: int, count: int,
             cfg_extra = dict(bcast_mode="relay", clone_disabled=True)
         else:
             cfg_extra = {}
+        if rng.random() < _FUZZ_MULTICLASS_P:
+            yield i, make_config(
+                kind=kind, n=n, msg_len=4, beta=0.0,
+                rate=round(rng.choice((0.5, 1.0, 2.0, 8.0)), 5),
+                cycles=cycles, warmup=warmup,
+                seed=rng.randrange(1, 10_000),
+                workload=_random_classes_spec(rng, n),
+                **cfg_extra)
+            continue
         pattern = rng.choice(_FUZZ_PATTERNS)
         if n & (n - 1) and pattern in _POW2_ONLY_PATTERNS:
             pattern = "uniform"

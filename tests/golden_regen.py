@@ -59,6 +59,16 @@ GOLDEN_CONFIGS: List[Tuple[str, WorkloadSpec, Dict]] = [
     ("spidergon16_saturated",
      WorkloadSpec(kind="spidergon", n=16, msg_len=16, beta=0.0, rate=0.2,
                   cycles=1500, warmup=300, seed=3), {}),
+    # multi-class application scenarios: pin the per-class breakdown
+    # (summary.extra["classes"]) alongside the aggregate fields
+    ("quarc16_cache_coherence",
+     WorkloadSpec(kind="quarc", n=16, msg_len=8, beta=0.0, rate=1.0,
+                  cycles=2500, warmup=500, seed=11,
+                  workload="cache_coherence:storms=true"), {}),
+    ("spidergon16_allreduce",
+     WorkloadSpec(kind="spidergon", n=16, msg_len=8, beta=0.0, rate=1.0,
+                  cycles=2500, warmup=500, seed=11,
+                  workload="allreduce:chunk=6,rate=0.008"), {}),
 ]
 
 
@@ -70,8 +80,11 @@ def golden_row(name: str) -> Dict:
             session = SimulationSession(
                 RunConfig(spec=spec, backend="reference", **cfg))
             summary = session.run()
+            # spec.to_dict() (not asdict) keeps pre-multi-class fixtures
+            # byte-identical: fields still at their compat default (an
+            # empty `workload`) are omitted from the serialized spec
             return {
-                "config": {"spec": asdict(spec), **cfg},
+                "config": {"spec": spec.to_dict(), **cfg},
                 "summary": asdict(summary),
             }
     raise KeyError(f"unknown golden config {name!r}")

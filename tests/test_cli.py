@@ -15,9 +15,11 @@ class TestParser:
         assert args.kind == "quarc"
         assert args.nodes == 16
 
-    def test_point_requires_rate(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["point"])
+    def test_point_requires_rate(self, capsys):
+        """--rate stays mandatory for single-class runs; only --workload
+        (which defaults the multiplier to 1.0) makes it optional."""
+        assert main(["point"]) == 2
+        assert "--rate is required" in capsys.readouterr().err
 
 
 class TestCommands:
@@ -147,3 +149,64 @@ class TestScenarioCommands:
         path = str(bad_dir / "run.jsonl")
         assert main(["trace", "replay", "--path", path]) == 2
         assert "comma" in capsys.readouterr().err
+
+
+class TestWorkloadCommands:
+    RUN = ["-n", "8", "--cycles", "1200", "--warmup", "300"]
+
+    def test_run_workload_defaults_rate_and_prints_classes(self, capsys):
+        rc = main(["run", "--kind", "quarc"] + self.RUN
+                  + ["--workload", "cache_coherence:storms=true",
+                     "--backend", "active"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-class breakdown" in out
+        assert "fill" in out and "inv" in out
+
+    def test_run_raw_classes_spec(self, capsys):
+        rc = main(["run", "--kind", "spidergon"] + self.RUN
+                  + ["--workload",
+                     "classes:inv=broadcast,len=2,rate=0.004;"
+                     "fill=uniform,len=9,rate=0.02"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "inv" in out and "broadcast" in out
+
+    def test_scenarios_list_shows_workloads(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "Application workloads" in out
+        assert "cache_coherence" in out and "allreduce" in out
+        assert "Multi-class grammar" in out
+
+    def test_sweep_workload(self, capsys, tmp_path):
+        csv_path = str(tmp_path / "wl.csv")
+        rc = main(["sweep", "-n", "8", "--points", "1",
+                   "--cycles", "1200", "--warmup", "300",
+                   "--workload", "allreduce:chunk=4,rate=0.02",
+                   "--csv", csv_path])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-class breakdown" in out
+        assert "scatter" in out and "gather" in out
+
+    def test_trace_record_workload_then_replay(self, capsys, tmp_path):
+        """Multi-class record/replay round trip via the CLI: the replay
+        run reports the same summary row from the v2 trace alone."""
+        path = str(tmp_path / "mc.jsonl")
+        rc = main(["trace", "record", "--kind", "quarc"] + self.RUN
+                  + ["--workload", "cache_coherence:storms=true",
+                     "--out", path, "--backend", "array"])
+        assert rc == 0
+        record_out = capsys.readouterr().out
+        assert "per-class breakdown" in record_out
+
+        rc = main(["trace", "replay", "--path", path, "--seed", "4242"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        replay_out = captured.out
+        assert record_out.splitlines()[:3] == replay_out.splitlines()[:3]
+        assert "per-class breakdown" in replay_out
+        # v2 replays are verbatim: overriding traffic-shaping flags
+        # must tell the user they have no effect
+        assert "do not change the traffic" in captured.err

@@ -46,6 +46,22 @@ class TestFig11Driver:
         assert {r["config"] for r in rows} == {"beta=0", "beta=0.1"}
 
 
+class TestAppScenarioDriver:
+    def test_per_class_rows(self, tiny_grid):
+        rows = figures.run_app_scenarios()
+        assert rows
+        assert {r["noc"] for r in rows} == {"quarc", "spidergon"}
+        workloads = {r["workload"] for r in rows}
+        assert any(w.startswith("cache_coherence") for w in workloads)
+        assert "allreduce" in workloads
+        for r in rows:
+            assert {"class", "cast", "generated", "delivered",
+                    "latency", "workload"} <= set(r)
+        # both casts represented, and every class delivered traffic
+        assert {r["cast"] for r in rows} == {"unicast", "broadcast"}
+        assert all(r["delivered"] > 0 for r in rows)
+
+
 class TestModeSwitch:
     def test_full_mode_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_BENCH_FULL", "1")

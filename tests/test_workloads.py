@@ -98,17 +98,17 @@ class TestSpecGrammar:
         from repro.workloads.registry import (_ALIASES, _REGISTRY,
                                               ScenarioInfo,
                                               register_scenario)
-        info = ScenarioInfo(name="AllReduce", kind=PATTERN,
-                            summary="test-only", aliases=("AR",),
+        info = ScenarioInfo(name="MixedCase", kind=PATTERN,
+                            summary="test-only", aliases=("MC",),
                             build=lambda n: None)
         register_scenario(info)
         try:
-            assert get_scenario("allreduce") is info
-            assert get_scenario("AllReduce") is info
-            assert get_scenario("ar") is info
+            assert get_scenario("mixedcase") is info
+            assert get_scenario("MixedCase") is info
+            assert get_scenario("mc") is info
         finally:
-            _REGISTRY.pop("allreduce", None)
-            _ALIASES.pop("ar", None)
+            _REGISTRY.pop("mixedcase", None)
+            _ALIASES.pop("mc", None)
 
     def test_string_params_survive_numeric_looking_values(self, tmp_path):
         """Regression: a trace path like '1e5' must not be float-coerced
@@ -125,13 +125,14 @@ class TestSpecGrammar:
         assert model.nodes == 2
 
     def test_listing_covers_acceptance_set(self):
+        from repro.workloads import WORKLOAD
         names = {i.name for i in list_scenarios()}
         assert {"uniform", "hotspot", "transpose", "bit-complement",
-                "neighbour", "permutation", "bursty",
-                "trace"} <= names
-        assert len(names) >= 8
+                "neighbour", "permutation", "bursty", "trace",
+                "classes", "cache_coherence", "allreduce"} <= names
+        assert len(names) >= 11
         kinds = {i.kind for i in list_scenarios()}
-        assert kinds == {PATTERN, ARRIVAL}
+        assert kinds == {PATTERN, ARRIVAL, WORKLOAD}
 
     def test_resolve_pattern_builds_configured_instance(self):
         pat = resolve_pattern("hotspot:node=2,p=0.9", n=16)
