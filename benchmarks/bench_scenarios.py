@@ -30,7 +30,6 @@ from benchlib import backend_equivalence_failures, emit
 
 from repro.experiments.sweep import sweep_scenarios
 from repro.sim.records import RunSummary
-from repro.sim.session import RunConfig, SimulationSession
 from repro.traffic.workload import WorkloadSpec
 from repro.workloads import PATTERN, list_scenarios
 

@@ -17,11 +17,26 @@ Two entry points:
 
 * ``pytest benchmarks/bench_sim_speed.py`` -- pytest-benchmark kernels
   plus the equivalence/speedup guards;
-* ``python benchmarks/bench_sim_speed.py [--smoke] [--json PATH]`` -- the
-  CI job: times every workload on all backends, verifies summaries are
-  identical, writes a JSON report (baseline committed as
-  ``BENCH_sim_speed.json`` at the repo root) and fails if a speedup
-  floor is not met.
+* ``python benchmarks/bench_sim_speed.py [--smoke] [--json PATH]
+  [--replicates R] [--baseline PATH]`` -- the CI job: times every
+  workload on all backends, verifies summaries are identical, writes a
+  JSON report (baseline committed as ``BENCH_sim_speed.json`` at the
+  repo root) and fails if a speedup floor is not met.
+
+With ``--replicates R > 1`` every (workload, backend) cell is timed at
+R seeds spawned from the workload's seed (`repro.sim.replication.
+ReplicationPlan`), and the reported times/speedups are **means over
+replicates with stddev spread** (``*_sd`` keys) instead of single
+timings -- the form the committed baseline uses, so perf-trajectory
+comparisons are not at the mercy of one seed's traffic draw.
+``--baseline`` gates this run against the floors recorded in a previous
+**full-mode** report (the CI perf-regression gate; smoke-mode baselines
+are refused -- their floors are already lenient).  Smoke runs scale the
+baseline's full-mode floors by the built-in smoke leniency ratio,
+because smoke horizons are 5x shorter and CI machines are noisy.  The
+floors a full-mode report records are a *ratchet*: 70% of the measured
+speedups, never below the built-in constants, so committing a faster
+baseline tightens the gate automatically.
 """
 
 from __future__ import annotations
@@ -30,11 +45,14 @@ import argparse
 import json
 import sys
 import time
+from dataclasses import replace
 from typing import Dict, List, Tuple
 
 from repro.sim.backend import BACKENDS
 from repro.sim.records import RunSummary
+from repro.sim.replication import ReplicationPlan
 from repro.sim.session import RunConfig, SimulationSession
+from repro.sim.stats import aggregate_values
 from repro.traffic.workload import WorkloadSpec
 
 #: (name, spec, band) -- ``band`` selects which floor applies:
@@ -74,7 +92,6 @@ ARRAY_SAT_FLOOR_SMOKE = 1.2
 
 
 def _smoke_spec(spec: WorkloadSpec) -> WorkloadSpec:
-    from dataclasses import replace
     return replace(spec, cycles=max(spec.cycles // 5, 2 * spec.warmup),
                    warmup=spec.warmup // 2)
 
@@ -94,30 +111,57 @@ def _timed_run(spec: WorkloadSpec, backend: str,
 
 
 def compare_backends(spec: WorkloadSpec, repeats: int = 2,
-                     backends: Tuple[str, ...] = None) -> Dict:
-    """Time ``spec`` on every backend; summaries must be identical."""
+                     backends: Tuple[str, ...] = None,
+                     replicates: int = 1) -> Dict:
+    """Time ``spec`` on every backend; summaries must be identical.
+
+    ``replicates > 1`` times every backend at R spawned seeds (each
+    still best-of-``repeats`` to shed scheduler noise) and reports
+    means with stddev spread; the summary-equivalence check then holds
+    **per seed** across backends.  ``replicates=1`` keeps the exact
+    historical single-seed behaviour.
+    """
     names = list(backends if backends is not None else sorted(BACKENDS))
     if "reference" not in names:
         names.insert(0, "reference")
-    times: Dict[str, float] = {}
-    summaries: Dict[str, RunSummary] = {}
+    if replicates > 1:
+        seeds = ReplicationPlan(spec.seed, replicates).seeds()
+        specs = [replace(spec, seed=s) for s in seeds]
+    else:
+        specs = [spec]
+    times: Dict[str, List[float]] = {}
+    summaries: Dict[str, List[RunSummary]] = {}
     for name in names:
-        times[name], summaries[name] = _timed_run(spec, name, repeats)
-    ref_s = times["reference"]
-    ref = summaries["reference"]
+        timed = [_timed_run(s, name, repeats) for s in specs]
+        times[name] = [t for t, _ in timed]
+        summaries[name] = [summary for _, summary in timed]
+    ref_times = times["reference"]
+    ref_runs = summaries["reference"]
+    identical = all(summaries[name][i] == ref_runs[i]
+                    for name in names for i in range(len(specs)))
+    # one spread definition repo-wide: the same sample-stddev aggregate
+    # ReplicatedSummary metrics use (repro.sim.stats.aggregate_values)
+    ref_agg = aggregate_values(ref_times)
     result = {
         "spec": spec.to_dict(),
-        "reference_s": round(ref_s, 4),
-        "reference_cycles_per_s": round(spec.cycles / ref_s),
-        "identical_summaries": all(s == ref for s in summaries.values()),
-        "flits_moved": ref.flits_moved,
-        "saturated": ref.saturated,
+        "replicates": len(specs),
+        "reference_s": round(ref_agg["mean"], 4),
+        "reference_s_sd": round(ref_agg["stddev"], 4),
+        "reference_cycles_per_s": round(spec.cycles / ref_agg["mean"]),
+        "identical_summaries": identical,
+        "flits_moved": ref_runs[0].flits_moved,
+        "saturated": ref_runs[0].saturated,
     }
     for name in names:
         if name == "reference":
             continue
-        result[f"{name}_s"] = round(times[name], 4)
-        result[f"speedup_{name}"] = round(ref_s / times[name], 2)
+        t_agg = aggregate_values(times[name])
+        s_agg = aggregate_values(
+            [r / t for r, t in zip(ref_times, times[name])])
+        result[f"{name}_s"] = round(t_agg["mean"], 4)
+        result[f"{name}_s_sd"] = round(t_agg["stddev"], 4)
+        result[f"speedup_{name}"] = round(s_agg["mean"], 2)
+        result[f"speedup_{name}_sd"] = round(s_agg["stddev"], 2)
     return result
 
 
@@ -205,19 +249,64 @@ def main(argv=None) -> int:
                     help="CI-sized horizons and lenient speedup floors")
     ap.add_argument("--json", default="",
                     help="write the report here (default: print only)")
-    ap.add_argument("--repeats", type=int, default=0,
+    def positive_int(text):
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(
+                f"must be >= 1 (got {value})")
+        return value
+
+    ap.add_argument("--repeats", type=positive_int, default=None,
                     help="timing repeats per backend (default 3, smoke 1)")
+    ap.add_argument("--replicates", type=positive_int, default=None,
+                    help="seeds per (workload, backend) cell; reported "
+                         "times/speedups are means with stddev spread "
+                         "(default 3, smoke 2; 1 = single-seed timings)")
+    ap.add_argument("--baseline", default="",
+                    help="gate against the speedup floors recorded in "
+                         "this earlier report (the committed "
+                         "BENCH_sim_speed.json); smoke runs scale the "
+                         "baseline's full-mode floors by the built-in "
+                         "smoke leniency ratio")
     args = ap.parse_args(argv)
 
-    repeats = args.repeats or (1 if args.smoke else 3)
+    repeats = args.repeats if args.repeats else (1 if args.smoke else 3)
+    replicates = (args.replicates if args.replicates
+                  else (2 if args.smoke else 3))
     active_floor = (ACTIVE_LOW_LOAD_FLOOR_SMOKE if args.smoke
                     else ACTIVE_LOW_LOAD_FLOOR_FULL)
     array_floor = (ARRAY_SAT_FLOOR_SMOKE if args.smoke
                    else ARRAY_SAT_FLOOR_FULL)
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        if baseline.get("mode") != "full":
+            # a smoke report's floors are already lenient; scaling them
+            # again would let sub-parity backends through the gate
+            print(f"error: baseline {args.baseline} has mode="
+                  f"{baseline.get('mode')!r}; the gate baseline must be "
+                  f"a full-mode report (regenerate with "
+                  f"`python benchmarks/bench_sim_speed.py --json ...`)",
+                  file=sys.stderr)
+            return 2
+        active_floor = baseline["speedup_floor_low_load_active"]
+        array_floor = baseline["speedup_floor_saturation_array"]
+        if args.smoke:
+            # the baseline records full-mode floors; smoke horizons are
+            # 5x shorter and CI machines noisy, so apply the same
+            # leniency ratio the built-in smoke floors encode
+            active_floor = round(active_floor * ACTIVE_LOW_LOAD_FLOOR_SMOKE
+                                 / ACTIVE_LOW_LOAD_FLOOR_FULL, 2)
+            array_floor = round(array_floor * ARRAY_SAT_FLOOR_SMOKE
+                                / ARRAY_SAT_FLOOR_FULL, 2)
+        print(f"[baseline] {args.baseline}: gating at "
+              f"active >= {active_floor}x (low load), "
+              f"array >= {array_floor}x (saturation)")
     report = {
         "bench": "sim_speed",
         "mode": "smoke" if args.smoke else "full",
         "backends": sorted(BACKENDS),
+        "replicates": replicates,
         "speedup_floor_low_load_active": active_floor,
         "speedup_floor_saturation_array": array_floor,
         "workloads": {},
@@ -227,12 +316,16 @@ def main(argv=None) -> int:
     for name, spec, band in WORKLOADS:
         if args.smoke:
             spec = _smoke_spec(spec)
-        result = compare_backends(spec, repeats=repeats)
+        result = compare_backends(spec, repeats=repeats,
+                                  replicates=replicates)
         result["band"] = band
         report["workloads"][name] = result
-        print(f"{name:24s} ref {result['reference_s']:7.3f}s  "
-              f"active {result['speedup_active']:5.2f}x  "
-              f"array {result['speedup_array']:5.2f}x  "
+        print(f"{name:24s} ref {result['reference_s']:7.3f}s "
+              f"±{result['reference_s_sd']:.3f}  "
+              f"active {result['speedup_active']:5.2f}x "
+              f"±{result['speedup_active_sd']:.2f}  "
+              f"array {result['speedup_array']:5.2f}x "
+              f"±{result['speedup_array_sd']:.2f}  "
               f"identical={result['identical_summaries']}")
         if not result["identical_summaries"]:
             failures.append(f"{name}: summaries differ between backends")
@@ -247,6 +340,20 @@ def main(argv=None) -> int:
             f"array backend best saturation-band speedup "
             f"{best_sat_array}x below {array_floor}x floor")
     report["best_saturation_speedup_array"] = best_sat_array
+    if not args.smoke:
+        # Ratchet: a full-mode report records the floors a *future*
+        # --baseline gate will read as 70% of what this run actually
+        # measured (weakest low-load active speedup / best
+        # saturation-band array speedup), never below the built-in
+        # constants -- so committing a faster baseline tightens the CI
+        # gate automatically instead of freezing it at the constants.
+        low_active = min(
+            report["workloads"][name]["speedup_active"]
+            for name, _, band in WORKLOADS if band == "low")
+        report["speedup_floor_low_load_active"] = max(
+            ACTIVE_LOW_LOAD_FLOOR_FULL, round(0.7 * low_active, 2))
+        report["speedup_floor_saturation_array"] = max(
+            ARRAY_SAT_FLOOR_FULL, round(0.7 * best_sat_array, 2))
 
     if args.json:
         with open(args.json, "w") as fh:

@@ -43,8 +43,9 @@ def main(cycles: int = 4_000, warmup: int = 1_000) -> None:
     print("unicast deliveries (latency = hops + M - 1 at zero load):")
     for pkt, node, now in tails:
         if pkt.traffic == UNICAST:
-            print(f"  {pkt.src} -> {pkt.dst}: {now - pkt.created:3d} cycles"
-                  f"  (route {' -> '.join(map(str, topo.path(pkt.src, pkt.dst)))})")
+            route = " -> ".join(map(str, topo.path(pkt.src, pkt.dst)))
+            print(f"  {pkt.src} -> {pkt.dst}: {now - pkt.created:3d} "
+                  f"cycles  (route {route})")
     print(f"broadcast from node 7: completed in "
           f"{op.completion_latency} cycles")
     print(f"collector: {collector.delivered_unicast} unicasts, "

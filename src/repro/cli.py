@@ -37,6 +37,15 @@ Multi-class runs print a per-class latency/throughput breakdown after
 the aggregate row; recordings are ``repro-trace/v2`` (destination,
 class, size and broadcast flag per event), so replay is seed- and
 pattern-independent.
+
+Replication: ``run``, ``sweep`` and the figure commands accept
+``--replicates R`` (independent seeds spawned from ``--seed``, reported
+as mean / 95% CI with ASCII error bands) and ``--workers N`` (process
+pool sharding the full rate-point x seed cell grid).  Output is
+byte-identical for every worker count::
+
+    repro sweep --replicates 8 --workers 4
+    repro run --rate 0.01 --replicates 16 --workers 8
 """
 
 from __future__ import annotations
@@ -52,15 +61,28 @@ from repro.core.api import NETWORK_KINDS
 from repro.sim.backend import BACKENDS
 from repro.experiments.ascii_plot import ascii_curves
 from repro.experiments.csvout import format_table, write_csv
-from repro.experiments.figures import (curves_from_rows, latency_rows,
-                                       run_fig9, run_fig10, run_fig11,
-                                       run_fig12, run_table1)
+from repro.experiments.figures import (bands_from_rows, curves_from_rows,
+                                       latency_rows, run_fig9, run_fig10,
+                                       run_fig11, run_fig12, run_table1)
 from repro.experiments.latency import run_point
 from repro.experiments.sweep import (compare_networks, default_rates,
                                      default_workload_rates)
 from repro.traffic.workload import WorkloadSpec
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for --workers/--replicates: a clear usage error
+    instead of a multiprocessing/seed-plan traceback deep in a run."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer >= 1, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1 (got {value})")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,7 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--cycles", type=int, default=8000)
         sp.add_argument("--warmup", type=int, default=2000)
 
-    def add_engine_args(sp, workers=True):
+    def add_engine_args(sp, workers=True, replicates=False):
         sp.add_argument("--backend", choices=sorted(BACKENDS),
                         default="reference",
                         help="simulation engine, identical results: "
@@ -89,9 +111,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "loads), array = batched numpy kernel with "
                              "sparse fallback (near-saturation sweeps)")
         if workers:
-            sp.add_argument("--workers", type=int, default=1,
-                            help="parallel processes for independent "
-                                 "rate points (default: serial)")
+            sp.add_argument("--workers", type=_positive_int, default=1,
+                            help="parallel processes sharding the "
+                                 "(rate point x seed) cell grid "
+                                 "(default: serial; results identical "
+                                 "for any worker count)")
+        if replicates:
+            sp.add_argument("--replicates", type=_positive_int,
+                            default=1,
+                            help="independent seeds per point, spawned "
+                                 "from --seed; > 1 reports mean / "
+                                 "stddev / 95%% CI per metric")
 
     def add_workload_args(sp):
         sp.add_argument("--pattern", default="uniform",
@@ -115,7 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = sub.add_parser("sweep", help="latency/load sweep with ASCII plot")
     add_net_args(sp, kinds=False)
-    add_engine_args(sp)
+    add_engine_args(sp, replicates=True)
     add_workload_args(sp)
     sp.add_argument("--points", type=int, default=5)
     sp.add_argument("--csv", default="", help="write rows to this CSV")
@@ -124,7 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
                        ("point", "one simulation point (alias of run)")):
         sp = sub.add_parser(cmd, help=help_)
         add_net_args(sp)
-        add_engine_args(sp, workers=False)
+        add_engine_args(sp, replicates=True)
         add_workload_args(sp)
         sp.add_argument("--rate", type=float, default=None,
                         help="messages/node/cycle (required unless "
@@ -178,7 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("fig12", help="Fig. 12: area vs flit width")
     for fig in ("fig9", "fig10", "fig11"):
         sp = sub.add_parser(fig, help=f"regenerate {fig} rows")
-        add_engine_args(sp)
+        add_engine_args(sp, replicates=True)
         sp.add_argument("--full", action="store_true",
                         help="full grids (slow)")
         sp.add_argument("--csv", default="",
@@ -218,16 +248,23 @@ def _cmd_sweep(args) -> int:
                                warmup=args.warmup, seed=args.seed,
                                verbose=True, backend=args.backend,
                                workers=args.workers,
+                               replicates=args.replicates,
                                pattern=args.pattern, arrival=args.arrival,
                                workload=args.workload)
     rows = latency_rows(results, label)
+    if args.replicates > 1:
+        columns = ["noc", "rate", "unicast_lat", "unicast_ci95",
+                   "bcast_lat", "bcast_ci95", "accepted", "replicates",
+                   "saturated"]
+    else:
+        columns = ["noc", "rate", "unicast_lat", "bcast_lat",
+                   "accepted", "saturated"]
     print()
-    print(format_table(rows, columns=["noc", "rate", "unicast_lat",
-                                      "bcast_lat", "accepted",
-                                      "saturated"]))
+    print(format_table(rows, columns=columns))
     for metric in ("unicast_lat", "bcast_lat"):
         print()
-        print(ascii_curves(curves_from_rows(rows, metric), title=metric))
+        print(ascii_curves(curves_from_rows(rows, metric), title=metric,
+                           bands=bands_from_rows(rows, metric)))
     if args.workload:
         for kind, summaries in results.items():
             if summaries:
@@ -269,9 +306,43 @@ def _cmd_point(args) -> int:
                         warmup=args.warmup, seed=args.seed,
                         pattern=args.pattern, arrival=args.arrival,
                         workload=args.workload)
+    if args.replicates > 1:
+        return _run_replicated_point(spec, args)
     s = run_point(spec, backend=args.backend)
     print(format_table([s.row()]))
     _print_class_table(s)
+    return 0
+
+
+def _run_replicated_point(spec: WorkloadSpec, args) -> int:
+    """One point at R spawned seeds: aggregate row with 95% CIs plus
+    the per-seed drill-down rows."""
+    from repro.experiments.csvout import format_mean_ci
+    from repro.sim.replication import run_replicated
+    from repro.sim.session import RunConfig
+
+    rs = run_replicated(RunConfig(spec=spec, backend=args.backend),
+                        args.replicates, workers=args.workers)
+    print(format_table([rs.row()]))
+    uni = rs.metric("unicast_mean")
+    print(f"unicast latency: {format_mean_ci(uni.mean, uni.ci_half_width)}"
+          f" cycles (mean ±95% CI over {rs.replicates} replicates)")
+    print()
+    print(f"per-seed drill-down (seeds spawned from root seed "
+          f"{spec.seed}):")
+    seed_rows = []
+    for seed, run in zip(rs.seeds, rs.runs):
+        row = {"seed": seed}
+        row.update(run.row())
+        seed_rows.append(row)
+    print(format_table(seed_rows,
+                       columns=["seed", "unicast_lat", "bcast_lat",
+                                "accepted", "saturated"]))
+    rows = rs.class_rows()
+    if rows:
+        print()
+        print("per-class breakdown (means over replicates):")
+        print(format_table(rows))
     return 0
 
 
@@ -364,7 +435,8 @@ def _cmd_figure(args, fig: str) -> int:
     runner = {"fig9": run_fig9, "fig10": run_fig10, "fig11": run_fig11}[fig]
     if args.full:
         os.environ["REPRO_BENCH_FULL"] = "1"
-    rows = runner(backend=args.backend, workers=args.workers)
+    rows = runner(backend=args.backend, workers=args.workers,
+                  replicates=args.replicates)
     path = args.csv or os.path.join("results", f"{fig}.csv")
     print(format_table(rows))
     print(f"[csv] {write_csv(rows, path)}")

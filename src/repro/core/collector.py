@@ -23,14 +23,54 @@ its aggregate statistics bit-identical.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, TYPE_CHECKING
+from typing import Dict, List, Mapping, Optional, Sequence, TYPE_CHECKING
 
-from repro.sim.stats import BatchMeans, OnlineStats
+from repro.sim.stats import BatchMeans, OnlineStats, aggregate_values
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.noc.packet import CollectiveOp, Packet
 
-__all__ = ["ClassStats", "LatencyCollector"]
+#: ``aggregate_values`` (defined next to its statistics machinery in
+#: :mod:`repro.sim.stats`) is re-exported here as part of the summary
+#: aggregation surface alongside :func:`aggregate_class_blocks`.
+__all__ = ["ClassStats", "LatencyCollector", "aggregate_values",
+           "aggregate_class_blocks"]
+
+#: per-class summary keys that vary run to run and are aggregated
+#: across replicates (the remaining keys -- cast/msg_len/rate -- are
+#: class declarations, constant across seeds, and carried through)
+_CLASS_MEASURED_KEYS = ("generated", "delivered", "latency_mean",
+                        "samples")
+
+
+def aggregate_class_blocks(blocks: Sequence[Mapping[str, Mapping]]
+                           ) -> Dict[str, Dict[str, object]]:
+    """Aggregate the per-class breakdown blocks of replicate runs
+    (each block is one run's ``summary.extra["classes"]``).
+
+    Class declarations (``cast`` / ``msg_len`` / ``rate``) are constant
+    across seeds and copied from the first block; measured keys become
+    :func:`aggregate_values` dicts.  Class order follows first-seen
+    order across blocks, so the result is deterministic for any
+    execution schedule that delivers blocks in replicate order."""
+    names: List[str] = []
+    for block in blocks:
+        for name in block:
+            if name not in names:
+                names.append(name)
+    out: Dict[str, Dict[str, object]] = {}
+    for name in names:
+        entries = [block[name] for block in blocks if name in block]
+        agg: Dict[str, object] = {}
+        for key in ("cast", "msg_len", "rate"):
+            if key in entries[0]:
+                agg[key] = entries[0][key]
+        for key in _CLASS_MEASURED_KEYS:
+            if key in entries[0]:
+                agg[key] = aggregate_values(
+                    [float(e[key]) for e in entries])
+        out[name] = agg
+    return out
 
 
 class ClassStats:

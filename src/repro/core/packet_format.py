@@ -230,7 +230,8 @@ class FlitCodec:
             payloads.append(f.payload)
         if hdr.length == 1:
             if first.ftype != FLIT_SINGLE or payloads:
-                raise ValueError("1-flit packet must be a single head+tail flit")
+                raise ValueError(
+                    "1-flit packet must be a single head+tail flit")
         elif len(payloads) != expected_data:
             raise ValueError(
                 f"header says {expected_data} data flits, got {len(payloads)}")

@@ -76,7 +76,8 @@ class QuarcRouter(Router):
 
         mk = self.new_buffer
         self.bufs_cw = [mk(buffer_depth, f"cw.vc{v}", CW_IN) for v in (0, 1)]
-        self.bufs_ccw = [mk(buffer_depth, f"ccw.vc{v}", CCW_IN) for v in (0, 1)]
+        self.bufs_ccw = [mk(buffer_depth, f"ccw.vc{v}", CCW_IN)
+                         for v in (0, 1)]
         self.bufs_xr = [mk(buffer_depth, f"xr.vc{v}", XR_IN) for v in (0, 1)]
         self.bufs_xl = [mk(buffer_depth, f"xl.vc{v}", XL_IN) for v in (0, 1)]
         self.loc_r = mk(LOCAL_QUEUE_DEPTH, "loc.r", LOC_R)

@@ -9,7 +9,7 @@ clipped to the top row, matching the vertical knee of the printed curves.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 __all__ = ["ascii_curves"]
 
@@ -18,20 +18,34 @@ _MARKERS = "QSqs*#@+"
 
 def ascii_curves(curves: Dict[str, List[Tuple[float, float]]],
                  width: int = 64, height: int = 18,
-                 title: str = "", log_y: bool = True) -> str:
+                 title: str = "", log_y: bool = True,
+                 bands: Optional[Dict[str, List[Tuple[float, float,
+                                                      float]]]] = None
+                 ) -> str:
     """Render ``{label: [(rate, latency), ...]}`` as an ASCII chart.
 
     Non-finite or non-positive latencies are clipped to the chart top
-    (saturation).  Returns a printable multi-line string.
+    (saturation).  ``bands`` maps labels to ``(rate, lo, hi)`` 95%-CI
+    intervals (from replicated sweeps, see
+    :func:`repro.experiments.figures.bands_from_rows`); each interval
+    is drawn as a ``:`` column behind its curve marker -- the terminal
+    rendition of a matplotlib error band.  Returns a printable
+    multi-line string.
     """
+    bands = bands or {}
     pts = [(x, y) for series in curves.values() for x, y in series
            if math.isfinite(y) and y > 0]
     if not pts:
         return f"{title}\n(no finite data points)"
     xs = [x for series in curves.values() for x, _ in series]
     x_lo, x_hi = min(xs), max(xs)
-    y_lo = min(y for _, y in pts)
-    y_hi = max(y for _, y in pts)
+    # the y-range covers the CI band extents too (positive, finite
+    # bounds only), so a wide interval is drawn in full rather than
+    # clipped at the curve's own min/max and read as larger than it is
+    band_ys = [b for series in bands.values() for _, lo, hi in series
+               for b in (lo, hi) if math.isfinite(b) and b > 0]
+    y_lo = min([y for _, y in pts] + band_ys)
+    y_hi = max([y for _, y in pts] + band_ys)
     if log_y:
         y_lo, y_hi = math.log10(y_lo), math.log10(max(y_hi, y_lo * 1.01))
     if x_hi == x_lo:
@@ -41,16 +55,36 @@ def ascii_curves(curves: Dict[str, List[Tuple[float, float]]],
 
     grid = [[" "] * width for _ in range(height)]
 
+    def row_of(y: float) -> int:
+        yv = math.log10(y) if log_y else y
+        yv = min(max(yv, y_lo), y_hi)
+        return int((y_hi - yv) / (y_hi - y_lo) * (height - 1))
+
     def place(x: float, y: float, mark: str) -> None:
         col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
         if not math.isfinite(y) or y <= 0:
             row = 0                      # clipped: saturated point
             mark = "^"
         else:
-            yv = math.log10(y) if log_y else y
-            yv = min(max(yv, y_lo), y_hi)
-            row = int((y_hi - yv) / (y_hi - y_lo) * (height - 1))
+            row = row_of(y)
         grid[row][min(max(col, 0), width - 1)] = mark
+
+    # CI bands go in first so the curve markers overprint them; a
+    # non-positive lower bound is unplottable on the log axis and
+    # clips to the chart floor (the 'v' marks the truncation)
+    for series in bands.values():
+        for x, lo, hi in series:
+            if not (math.isfinite(lo) and math.isfinite(hi)) \
+                    or hi <= 0 or hi <= lo:
+                continue
+            col = min(max(int((x - x_lo) / (x_hi - x_lo) * (width - 1)),
+                          0), width - 1)
+            clipped = lo <= 0 and log_y
+            bottom = height - 1 if clipped else row_of(lo)
+            for r in range(row_of(hi), bottom + 1):
+                grid[r][col] = ":"
+            if clipped:
+                grid[height - 1][col] = "v"
 
     legend = []
     for idx, (label, series) in enumerate(curves.items()):
@@ -64,8 +98,9 @@ def ascii_curves(curves: Dict[str, List[Tuple[float, float]]],
     lines = []
     if title:
         lines.append(title)
+    band_note = ", ':' = 95% CI band" if bands else ""
     lines.append(f"latency (cycles){'  [log scale]' if log_y else ''}  "
-                 f"('^' = saturated)")
+                 f"('^' = saturated{band_note})")
     for r, row in enumerate(grid):
         if r == 0:
             label = f"{y_top:9.1f} |"

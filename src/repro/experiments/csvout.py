@@ -12,7 +12,16 @@ import io
 import os
 from typing import Dict, Iterable, List, Sequence
 
-__all__ = ["rows_to_csv", "write_csv", "format_table"]
+__all__ = ["rows_to_csv", "write_csv", "format_table", "format_mean_ci"]
+
+
+def format_mean_ci(mean: float, half_width: float, prec: int = 1) -> str:
+    """``"123.4 ±5.6"`` -- the console form of a replicated metric.
+    A zero half-width (single replicate / degenerate CI) renders as the
+    bare mean, so single-seed tables stay unchanged."""
+    if half_width:
+        return f"{mean:.{prec}f} ±{half_width:.{prec}f}"
+    return f"{mean:.{prec}f}"
 
 
 def rows_to_csv(rows: Sequence[Dict[str, object]]) -> str:

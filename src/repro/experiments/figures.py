@@ -30,7 +30,12 @@ from repro.traffic.workload import WorkloadSpec
 
 __all__ = ["is_full_mode", "latency_rows", "app_scenario_rows",
            "run_fig9", "run_fig10", "run_fig11", "run_app_scenarios",
-           "run_table1", "run_fig12", "curves_from_rows"]
+           "run_table1", "run_fig12", "curves_from_rows",
+           "bands_from_rows"]
+
+#: row metric column -> its CI-half-width column (present on rows that
+#: came from a ReplicatedSummary; absent on single-seed rows)
+_CI_COLUMNS = {"unicast_lat": "unicast_ci95", "bcast_lat": "bcast_ci95"}
 
 
 def is_full_mode() -> bool:
@@ -59,9 +64,15 @@ def _rates_for(n: int, msg_len: int, beta: float, points: int
     return [round(top * (i + 1) / points, 6) for i in range(points)]
 
 
-def latency_rows(results: Dict[str, List[RunSummary]],
+def latency_rows(results: Dict[str, List],
                  config_label: str) -> List[Dict[str, object]]:
-    """Flatten a compare_networks() result into CSV rows."""
+    """Flatten a compare_networks() result into CSV rows.
+
+    Works for single-seed sweeps (:class:`RunSummary` rows) and
+    replicated sweeps (:class:`~repro.sim.replication.
+    ReplicatedSummary` rows, which add ``unicast_ci95`` /
+    ``bcast_ci95`` half-width and ``replicates`` columns -- the CI
+    error bands of the figures/CSVs)."""
     rows: List[Dict[str, object]] = []
     for kind, summaries in results.items():
         for s in summaries:
@@ -83,13 +94,36 @@ def curves_from_rows(rows: Sequence[Dict[str, object]],
     return curves
 
 
+def bands_from_rows(rows: Sequence[Dict[str, object]],
+                    metric: str = "unicast_lat"
+                    ) -> Dict[str, List[Tuple[float, float, float]]]:
+    """Group replicated rows into 95%-CI bands for the ASCII plots:
+    ``{label: [(rate, lo, hi), ...]}``.  Rows without a CI column (or
+    with a blank one -- e.g. the analytic-model overlay rows) are
+    skipped, so the result is empty for single-seed sweeps."""
+    ci_col = _CI_COLUMNS.get(metric)
+    bands: Dict[str, List[Tuple[float, float, float]]] = {}
+    if ci_col is None:
+        return bands
+    for row in rows:
+        half = row.get(ci_col, "")
+        if half in ("", None):
+            continue
+        label = f"{row['noc']} {row.get('config', '')}".strip()
+        mean = float(row[metric])            # type: ignore[arg-type]
+        bands.setdefault(label, []).append(
+            (float(row["rate"]),             # type: ignore[arg-type]
+             mean - float(half), mean + float(half)))
+    return bands
+
+
 # ----------------------------------------------------------------------
 # Fig. 9: message-length sweep at N=16, beta=5%
 # ----------------------------------------------------------------------
 def run_fig9(fast: Optional[bool] = None, seed: int = 1,
              msg_lens: Sequence[int] = (8, 16, 32),
-             backend: str = "reference", workers: int = 1
-             ) -> List[Dict[str, object]]:
+             backend: str = "reference", workers: int = 1,
+             replicates: int = 1) -> List[Dict[str, object]]:
     points, cycles, warmup = _grid(fast)
     n, beta = 16, 0.05
     rows: List[Dict[str, object]] = []
@@ -97,7 +131,8 @@ def run_fig9(fast: Optional[bool] = None, seed: int = 1,
         res = compare_networks(n, m, beta,
                                rates=_rates_for(n, m, beta, points),
                                cycles=cycles, warmup=warmup, seed=seed,
-                               backend=backend, workers=workers)
+                               backend=backend, workers=workers,
+                               replicates=replicates)
         rows.extend(latency_rows(res, config_label=f"M={m}"))
     return rows
 
@@ -107,8 +142,8 @@ def run_fig9(fast: Optional[bool] = None, seed: int = 1,
 # ----------------------------------------------------------------------
 def run_fig10(fast: Optional[bool] = None, seed: int = 1,
               sizes: Sequence[int] = (16, 32, 64),
-              backend: str = "reference", workers: int = 1
-              ) -> List[Dict[str, object]]:
+              backend: str = "reference", workers: int = 1,
+              replicates: int = 1) -> List[Dict[str, object]]:
     points, cycles, warmup = _grid(fast)
     m, beta = 16, 0.10
     rows: List[Dict[str, object]] = []
@@ -116,7 +151,8 @@ def run_fig10(fast: Optional[bool] = None, seed: int = 1,
         rates = _rates_for(n, m, beta, points)
         res = compare_networks(n, m, beta, rates=rates,
                                cycles=cycles, warmup=warmup, seed=seed,
-                               backend=backend, workers=workers)
+                               backend=backend, workers=workers,
+                               replicates=replicates)
         rows.extend(latency_rows(res, config_label=f"N={n}"))
         # the paper overlays analytical curves in this figure
         for kind in ("quarc", "spidergon"):
@@ -140,7 +176,8 @@ def run_fig10(fast: Optional[bool] = None, seed: int = 1,
 def run_fig11(fast: Optional[bool] = None, seed: int = 1,
               betas: Sequence[float] = (0.0, 0.05, 0.10),
               n: int = 64, backend: str = "reference",
-              workers: int = 1) -> List[Dict[str, object]]:
+              workers: int = 1,
+              replicates: int = 1) -> List[Dict[str, object]]:
     points, cycles, warmup = _grid(fast)
     m = 16
     rows: List[Dict[str, object]] = []
@@ -148,7 +185,8 @@ def run_fig11(fast: Optional[bool] = None, seed: int = 1,
         res = compare_networks(n, m, beta,
                                rates=_rates_for(n, m, beta, points),
                                cycles=cycles, warmup=warmup, seed=seed,
-                               backend=backend, workers=workers)
+                               backend=backend, workers=workers,
+                               replicates=replicates)
         rows.extend(latency_rows(res, config_label=f"beta={beta:g}"))
     return rows
 
@@ -181,8 +219,8 @@ def run_app_scenarios(fast: Optional[bool] = None, seed: int = 1,
                       n: int = 16, scale: float = 1.0,
                       workloads: Sequence[str] = APP_WORKLOADS,
                       kinds: Sequence[str] = ("quarc", "spidergon"),
-                      backend: str = "reference", workers: int = 1
-                      ) -> List[Dict[str, object]]:
+                      backend: str = "reference", workers: int = 1,
+                      replicates: int = 1) -> List[Dict[str, object]]:
     """Quarc vs Spidergon on the registered application workloads
     (cache-coherence invalidation storms, ring all-reduce), reported
     per traffic class.
@@ -199,7 +237,8 @@ def run_app_scenarios(fast: Optional[bool] = None, seed: int = 1,
                         seed=seed)
     summaries = sweep_scenarios(base, kinds=list(kinds),
                                 workloads=list(workloads),
-                                backend=backend, workers=workers)
+                                backend=backend, workers=workers,
+                                replicates=replicates)
     return app_scenario_rows(summaries)
 
 

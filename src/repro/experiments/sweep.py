@@ -7,10 +7,13 @@ just past the *Spidergon's* saturation point so every figure shows both
 the flat region and both knees, like the paper's curves.
 
 Every point runs through :class:`repro.sim.session.SimulationSession`
-(via :func:`~repro.experiments.latency.run_point`), so sweeps accept a
-``backend`` selector and, because rate points are independent
-simulations, an optional process pool (``workers > 1``) that runs them
-in parallel with identical results to the serial path.
+via the :class:`~repro.sim.replication.ExecutionEngine`, so sweeps
+accept a ``backend`` selector, a process pool (``workers > 1``) and a
+replication factor (``replicates > 1``).  With replication each rate
+point expands into R (rate x seed) *cells* -- the full cell grid is
+what the pool shards, not just the rate axis -- and comes back as one
+:class:`~repro.sim.replication.ReplicatedSummary` per rate with mean /
+95%-CI statistics.  Results are byte-identical for every worker count.
 
 Beyond the paper's rate sweeps, :func:`sweep_scenarios` runs a *scenario
 grid* -- the cross product of network kinds x spatial patterns x
@@ -21,16 +24,20 @@ scenario-matrix CI job drive.
 
 from __future__ import annotations
 
-import multiprocessing
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.analysis import saturation_rate
-from repro.experiments.latency import run_point
 from repro.sim.records import RunSummary
+from repro.sim.replication import (ExecutionEngine, ReplicatedSummary,
+                                   ReplicationPlan)
+from repro.sim.session import RunConfig
 from repro.traffic.workload import WorkloadSpec
 
 __all__ = ["default_rates", "default_workload_rates", "sweep_rates",
-           "compare_networks", "sweep_scenarios"]
+           "compare_networks", "sweep_scenarios", "SweepSummary"]
+
+#: what sweeps yield: single-seed rows or cross-replicate aggregates
+SweepSummary = Union[RunSummary, ReplicatedSummary]
 
 
 def default_rates(n: int, msg_len: int, beta: float,
@@ -54,28 +61,73 @@ def default_workload_rates(points: int = 3) -> List[float]:
     return [round(1.5 * (i + 1) / points, 6) for i in range(points)]
 
 
-def _run_one(job: Tuple[WorkloadSpec, str, dict]) -> RunSummary:
-    """Top-level worker (must be picklable for multiprocessing)."""
-    spec, backend, kwargs = job
-    return run_point(spec, backend=backend, **kwargs)
+def _cells(specs: Sequence[WorkloadSpec], backend: str,
+           plan: Optional[ReplicationPlan],
+           kwargs: dict) -> List[RunConfig]:
+    """Flatten a spec list into engine work units, replicate-minor (all
+    seeds of spec 0, then spec 1, ...) so grouping back is positional."""
+    cells: List[RunConfig] = []
+    for s in specs:
+        config = RunConfig(spec=s, backend=backend, **kwargs)
+        if plan is None:
+            cells.append(config)
+        else:
+            cells.extend(plan.configs(config))
+    return cells
+
+
+def _grouped(engine: ExecutionEngine, cells: Sequence[RunConfig],
+             specs: Sequence[WorkloadSpec],
+             plan: Optional[ReplicationPlan]
+             ) -> Iterator[SweepSummary]:
+    """Yield one summary per spec, aggregating replicate batches.
+
+    Lazy: closing this generator early closes the engine iterator,
+    which terminates the pool and abandons unfinished cells.
+    """
+    results = engine.imap(cells)
+    try:
+        if plan is None:
+            yield from results
+            return
+        batch: List[RunSummary] = []
+        idx = 0
+        for summary in results:
+            batch.append(summary)
+            if len(batch) == plan.replicates:
+                yield ReplicatedSummary.from_runs(specs[idx], batch, plan)
+                batch = []
+                idx += 1
+    finally:
+        results.close()
 
 
 def sweep_rates(spec: WorkloadSpec, rates: Sequence[float],
                 verbose: bool = False, backend: str = "reference",
-                workers: int = 1, **kwargs) -> List[RunSummary]:
+                workers: int = 1, replicates: int = 1,
+                **kwargs) -> List[SweepSummary]:
     """Run ``spec`` at each rate; stops early after two saturated points
     (the curve is vertical there, more points add nothing but runtime).
 
-    With ``workers > 1`` the rate points run in a process pool.  Results
-    arrive in rate order (``imap``) and the early stop fires on the same
-    two-saturated-points rule, abandoning still-running past-knee points,
-    so parallel and serial sweeps return identical prefixes.
+    With ``workers > 1`` the (rate x seed) cells run in a process pool.
+    Results arrive in rate order and the early stop fires on the same
+    two-saturated-points rule, abandoning still-running past-knee
+    cells, so parallel and serial sweeps return identical prefixes.
+
+    With ``replicates > 1`` each rate point runs at R seeds spawned
+    from ``spec.seed`` (the same R seeds at every rate -- common random
+    numbers along the curve) and the result list holds
+    :class:`ReplicatedSummary` aggregates; a point counts as saturated
+    when at least half its replicates saturated.
     """
     specs = list(spec.sweep_rates(rates))
-    out: List[RunSummary] = []
+    plan = (ReplicationPlan(spec.seed, replicates)
+            if replicates > 1 else None)
+    engine = ExecutionEngine(workers)
+    out: List[SweepSummary] = []
     saturated_seen = 0
 
-    def note(s: WorkloadSpec, summary: RunSummary) -> bool:
+    def note(s: WorkloadSpec, summary: SweepSummary) -> bool:
         """Record one point; True once the saturated tail is reached."""
         nonlocal saturated_seen
         out.append(summary)
@@ -87,19 +139,14 @@ def sweep_rates(spec: WorkloadSpec, rates: Sequence[float],
             saturated_seen += 1
         return saturated_seen >= 2
 
-    if workers > 1 and len(specs) > 1:
-        jobs = [(s, backend, kwargs) for s in specs]
-        # exiting the `with` terminates the pool, discarding any
-        # deep-saturation points still simulating past the early stop
-        with multiprocessing.Pool(min(workers, len(jobs))) as pool:
-            for s, summary in zip(specs, pool.imap(_run_one, jobs)):
-                if note(s, summary):
-                    break
-        return out
-
-    for s in specs:
-        if note(s, run_point(s, backend=backend, **kwargs)):
-            break
+    grouped = _grouped(engine, _cells(specs, backend, plan, kwargs),
+                       specs, plan)
+    try:
+        for s, summary in zip(specs, grouped):
+            if note(s, summary):
+                break
+    finally:
+        grouped.close()
     return out
 
 
@@ -110,21 +157,24 @@ def compare_networks(n: int, msg_len: int, beta: float,
                                                             "spidergon"),
                      verbose: bool = False, backend: str = "reference",
                      workers: int = 1, pattern: str = "uniform",
-                     arrival: str = "bernoulli", workload: str = ""
-                     ) -> Dict[str, List[RunSummary]]:
+                     arrival: str = "bernoulli", workload: str = "",
+                     replicates: int = 1
+                     ) -> Dict[str, List[SweepSummary]]:
     """The paper's core comparison at one (N, M, beta) configuration.
 
     Both networks see the same seeds (common random numbers), so latency
     differences are attributable to the architecture, not the workload
-    draw.  ``pattern`` / ``arrival`` select the workload scenario (spec
-    strings, see :mod:`repro.workloads.registry`); a non-empty
-    ``workload`` selects a multi-class mix instead, with ``rates``
-    acting as multipliers on the class rates.
+    draw -- with ``replicates > 1`` both networks see the same *spawned
+    seed list*, extending the pairing to every replicate.  ``pattern`` /
+    ``arrival`` select the workload scenario (spec strings, see
+    :mod:`repro.workloads.registry`); a non-empty ``workload`` selects a
+    multi-class mix instead, with ``rates`` acting as multipliers on the
+    class rates.
     """
     if rates is None:
         rates = (default_rates(n, msg_len, beta) if not workload
                  else default_workload_rates())
-    results: Dict[str, List[RunSummary]] = {}
+    results: Dict[str, List[SweepSummary]] = {}
     for kind in kinds:
         spec = WorkloadSpec(kind=kind, n=n, msg_len=msg_len, beta=beta,
                             rate=0.0, cycles=cycles, warmup=warmup,
@@ -133,7 +183,8 @@ def compare_networks(n: int, msg_len: int, beta: float,
         if verbose:  # pragma: no cover
             print(f"[{kind}] N={n} M={msg_len} beta={beta:g}")
         results[kind] = sweep_rates(spec, rates, verbose=verbose,
-                                    backend=backend, workers=workers)
+                                    backend=backend, workers=workers,
+                                    replicates=replicates)
     return results
 
 
@@ -143,7 +194,8 @@ def sweep_scenarios(base: WorkloadSpec,
                     kinds: Optional[Sequence[str]] = None,
                     workloads: Optional[Sequence[str]] = None,
                     backend: str = "reference", workers: int = 1,
-                    verbose: bool = False) -> List[RunSummary]:
+                    replicates: int = 1,
+                    verbose: bool = False) -> List[SweepSummary]:
     """Run the scenario grid ``kinds x patterns x arrivals`` (or, when
     ``workloads`` is given, ``kinds x workloads``) at one rate point
     (``base.rate``).
@@ -153,8 +205,10 @@ def sweep_scenarios(base: WorkloadSpec,
     random numbers where the scenario allows it.  Results come back in
     grid order (kind-major); each summary carries its scenario in
     ``extra["pattern"]`` / ``extra["arrival"]`` /
-    ``extra["workload"]``.  With ``workers > 1`` the independent cells
-    run in a process pool with identical results.
+    ``extra["workload"]``.  ``workers > 1`` shards the (cell x seed)
+    grid across a process pool and ``replicates > 1`` aggregates each
+    cell over spawned seeds, with results identical for every worker
+    count.
     """
     kinds = list(kinds) if kinds is not None else [base.kind]
     if workloads is not None:
@@ -163,12 +217,11 @@ def sweep_scenarios(base: WorkloadSpec,
     else:
         grid = [base.with_kind(k).with_scenario(pattern=p, arrival=a)
                 for k in kinds for p in patterns for a in arrivals]
-    if workers > 1 and len(grid) > 1:
-        jobs = [(s, backend, {}) for s in grid]
-        with multiprocessing.Pool(min(workers, len(jobs))) as pool:
-            out = pool.map(_run_one, jobs)
-    else:
-        out = [run_point(s, backend=backend) for s in grid]
+    plan = (ReplicationPlan(base.seed, replicates)
+            if replicates > 1 else None)
+    engine = ExecutionEngine(workers)
+    out = list(_grouped(engine, _cells(grid, backend, plan, {}),
+                        grid, plan))
     if verbose:  # pragma: no cover - console convenience
         for s, summary in zip(grid, out):
             print(f"  {s.label():60s} uni={summary.unicast_mean:8.1f} "

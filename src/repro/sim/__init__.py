@@ -19,6 +19,12 @@ paper used for its flit-level simulator).  It provides:
   the single entry point experiments, benchmarks and the CLI run through.
   (Not imported here: it builds on :mod:`repro.core`, which itself
   imports this package -- import it as ``repro.sim.session``.)
+* :mod:`repro.sim.replication` -- multi-seed replication:
+  ``ReplicationPlan`` (seed spawning), ``ExecutionEngine``
+  (process-sharded work units with deterministic ordering) and
+  ``ReplicatedSummary`` (mean / stddev / 95% CI per metric).  (Also not
+  imported here, for the same layering reason -- import it as
+  ``repro.sim.replication``.)
 
 The flit-level NoC models in :mod:`repro.noc` register a single recurring
 "network step" activity with the engine, so the hot per-cycle loop stays in

@@ -100,7 +100,8 @@ class Simulator:
                  priority: int = 0) -> Event:
         """Schedule ``fn`` to run ``delay`` time units from now."""
         if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+            raise SimulationError(
+                f"cannot schedule into the past (delay={delay})")
         return self.schedule_at(self.now + delay, fn, priority)
 
     def schedule_at(self, time: float, fn: Callable[[], None],
@@ -124,8 +125,8 @@ class Simulator:
             raise SimulationError(f"period must be positive (got {period})")
         first = self.now + period if start is None else start
         if first < self.now:
-            raise SimulationError(
-                f"cannot start recurring event at t={first}, now is {self.now}")
+            raise SimulationError(f"cannot start recurring event at "
+                                  f"t={first}, now is {self.now}")
         ev = Event(first, priority, next(self._seq), fn, period=period)
         heapq.heappush(self._heap, ev)
         return ev

@@ -128,6 +128,21 @@ class SimulationSession:
         """Run without new traffic until empty; returns cycles taken."""
         return self.backend.drain(max_cycles)
 
+    def run_replicated(self, replicates: int, workers: int = 1):
+        """Run ``replicates`` seed-spawned copies of this session's
+        config (fresh networks, independent seeds -- see
+        :mod:`repro.sim.replication`) and return the aggregated
+        :class:`~repro.sim.replication.ReplicatedSummary`.
+
+        This session's own network/RNG state is untouched: replicate
+        seeds live in the reserved ``replicate:{r}`` stream namespace,
+        so the single-run draw order (and the golden fixtures pinning
+        it) cannot be perturbed.  ``workers > 1`` shards the replicates
+        across a process pool with byte-identical results.
+        """
+        from repro.sim.replication import run_replicated
+        return run_replicated(self.config, replicates, workers=workers)
+
     # ------------------------------------------------------------------
     def summary(self) -> RunSummary:
         spec = self.config.spec

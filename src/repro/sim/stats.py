@@ -17,10 +17,60 @@ those numbers correctly requires the usual steady-state machinery:
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["OnlineStats", "Histogram", "WarmupFilter", "BatchMeans",
-           "quantile"]
+           "quantile", "t_critical_95", "mean_ci95", "describe",
+           "aggregate_values"]
+
+#: two-sided 95% t critical values for df = 1..30 (df > 30 -> 1.96)
+_T95 = [12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+        2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+        2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+        2.048, 2.045, 2.042]
+
+
+def t_critical_95(df: int) -> float:
+    """Two-sided 95% Student-t critical value for ``df`` degrees of
+    freedom (normal approximation past df=30)."""
+    if df < 1:
+        raise ValueError(f"df must be >= 1 (got {df})")
+    return _T95[df - 1] if df <= 30 else 1.96
+
+
+def mean_ci95(stats: "OnlineStats") -> Optional[Tuple[float, float]]:
+    """t-based 95% CI for the mean of independent samples folded into
+    ``stats``, or ``None`` below 2 samples.  This is the cross-replicate
+    interval: replicate means from independent seeds *are* i.i.d., so
+    (unlike within-run latencies) no batching is needed."""
+    if stats.n < 2:
+        return None
+    half = t_critical_95(stats.n - 1) * stats.sem
+    return (stats.mean - half, stats.mean + half)
+
+
+def describe(values: Sequence[float]) -> "OnlineStats":
+    """Fold a finished sequence into an :class:`OnlineStats`."""
+    stats = OnlineStats()
+    for v in values:
+        stats.add(float(v))
+    return stats
+
+
+def aggregate_values(values: Sequence[float]) -> Dict[str, object]:
+    """Cross-replicate aggregate of one scalar metric: mean, stddev,
+    t-based 95% CI (``None`` below 2 values) and sample count, as a
+    JSON-ready dict.  The single aggregation implementation behind
+    :class:`repro.sim.replication.MetricStats` and the per-class
+    blocks of :func:`repro.core.collector.aggregate_class_blocks`."""
+    stats = describe(values)
+    ci = mean_ci95(stats)
+    return {
+        "mean": stats.mean if stats.n else 0.0,
+        "stddev": stats.stddev,
+        "ci95": list(ci) if ci is not None else None,
+        "n": stats.n,
+    }
 
 
 class OnlineStats:
@@ -160,12 +210,6 @@ class BatchMeans:
     a defensible confidence interval for steady-state simulation output.
     """
 
-    #: two-sided 95% t critical values for df = 1..30 (df>30 -> 1.96)
-    _T95 = [12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
-            2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
-            2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
-            2.048, 2.045, 2.042]
-
     def __init__(self, batch_size: int = 200):
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -196,9 +240,7 @@ class BatchMeans:
         stats = OnlineStats()
         for b in self.batch_averages:
             stats.add(b)
-        df = k - 1
-        t = self._T95[df - 1] if df <= 30 else 1.96
-        half = t * stats.stddev / math.sqrt(k)
+        half = t_critical_95(k - 1) * stats.stddev / math.sqrt(k)
         return (stats.mean - half, stats.mean + half)
 
 

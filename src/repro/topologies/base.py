@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import networkx as nx
 
@@ -70,7 +70,8 @@ class Topology:
 
     def validate_pair(self, src: int, dst: int) -> None:
         if not (0 <= src < self.n and 0 <= dst < self.n):
-            raise ValueError(f"node out of range: src={src} dst={dst} n={self.n}")
+            raise ValueError(
+                f"node out of range: src={src} dst={dst} n={self.n}")
         if src == dst:
             raise ValueError("src == dst has no route")
 

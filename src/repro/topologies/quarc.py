@@ -28,7 +28,7 @@ destination is the *last node of the branch*; intermediate switches clone
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.topologies.base import Channel, Topology
 from repro.topologies.ring import cw_dist

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.topologies.base import Channel, Topology
-from repro.topologies.ring import ccw_dist, cw_dist
+from repro.topologies.ring import cw_dist
 
 __all__ = ["SpidergonTopology"]
 
@@ -32,7 +32,8 @@ class SpidergonTopology(Topology):
     def __init__(self, n: int):
         super().__init__(n)
         if n % 2:
-            raise ValueError(f"Spidergon requires an even node count (got {n})")
+            raise ValueError(
+                f"Spidergon requires an even node count (got {n})")
         if n < 4:
             raise ValueError(f"Spidergon needs at least 4 nodes (got {n})")
 

@@ -33,7 +33,7 @@ pattern-independent.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union, \
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, \
     TYPE_CHECKING
 
 from repro.noc.packet import Packet, UNICAST
@@ -169,7 +169,8 @@ class TrafficMix:
                      arrival: Optional[Callable],
                      streams: RngStreams) -> None:
         if msg_len < 1:
-            raise ValueError(f"message length must be >= 1 flit (got {msg_len})")
+            raise ValueError(
+                f"message length must be >= 1 flit (got {msg_len})")
         if not 0.0 <= beta <= 1.0:
             raise ValueError(f"beta must be in [0, 1] (got {beta})")
         nodes = getattr(arrival, "nodes", None)

@@ -15,7 +15,7 @@ import pytest
 from repro.core.api import NETWORK_KINDS, build_network
 from repro.noc.packet import Packet, UNICAST
 from repro.sim.backend import (ActiveSetBackend, ArrayBackend, BACKENDS,
-                               ReferenceBackend, make_backend)
+                               make_backend)
 from repro.sim.session import RunConfig, SimulationSession
 from repro.traffic.generators import BernoulliInjector
 from repro.traffic.mix import TrafficMix

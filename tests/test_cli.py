@@ -210,3 +210,66 @@ class TestWorkloadCommands:
         # v2 replays are verbatim: overriding traffic-shaping flags
         # must tell the user they have no effect
         assert "do not change the traffic" in captured.err
+
+
+class TestReplicationCli:
+    SWEEP = ["sweep", "-n", "8", "-M", "4", "--beta", "0.0",
+             "--points", "2", "--cycles", "1200", "--warmup", "300"]
+
+    def test_workers_and_replicates_reject_below_one(self, capsys):
+        """Satellite regression: a clear usage error (exit 2), not a
+        pool/seed-plan traceback from deep inside a run."""
+        for flag, value in (("--workers", "0"), ("--workers", "-2"),
+                            ("--replicates", "0"),
+                            ("--replicates", "-1"),
+                            ("--workers", "two")):
+            with pytest.raises(SystemExit) as exc:
+                main(self.SWEEP + [flag, value])
+            assert exc.value.code == 2
+            err = capsys.readouterr().err
+            assert flag in err
+            assert "must be >= 1" in err or "expected an integer" in err
+
+    def test_run_rejects_bad_replicates(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "--rate", "0.01", "--replicates", "0"])
+        assert exc.value.code == 2
+        assert "--replicates" in capsys.readouterr().err
+
+    def test_replicated_run_prints_ci_and_drilldown(self, capsys):
+        rc = main(["run", "--kind", "quarc", "-n", "8", "-M", "4",
+                   "--rate", "0.02", "--cycles", "1200",
+                   "--warmup", "300", "--replicates", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "unicast_ci95" in out
+        assert "±95% CI over 3 replicates" in out
+        assert "per-seed drill-down" in out
+        # three per-seed data rows (after the title, header and dash
+        # separator lines), none reusing root seed 1 directly
+        section = out.split("per-seed")[1].splitlines()
+        seeds = [line.split()[0] for line in section[3:6]]
+        assert len(seeds) == 3
+        assert all(s.isdigit() and s != "1" for s in seeds)
+
+    def test_replicated_sweep_output_identical_across_workers(
+            self, capsys):
+        """The acceptance contract: --workers must not change a single
+        byte of the replicated sweep output."""
+        argv = self.SWEEP + ["--replicates", "3"]
+        assert main(argv + ["--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--workers", "4"]) == 0
+        sharded = capsys.readouterr().out
+        assert serial == sharded
+        assert "unicast_ci95" in serial
+        assert "95% CI band" in serial
+
+    def test_replicated_sweep_csv_has_ci_columns(self, capsys, tmp_path):
+        csv_path = str(tmp_path / "rep.csv")
+        rc = main(self.SWEEP + ["--replicates", "2", "--workers", "2",
+                                "--csv", csv_path])
+        assert rc == 0
+        with open(csv_path) as fh:
+            header = fh.readline()
+        assert "unicast_ci95" in header and "replicates" in header

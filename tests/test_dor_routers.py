@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.api import build_network
 from repro.core.collector import LatencyCollector
-from repro.core.dor_router import DORAdapter, MeshRouter, TorusRouter
+from repro.core.dor_router import MeshRouter, TorusRouter
 from repro.noc.packet import Packet, UNICAST
 from repro.topologies.mesh import MeshTopology
 from repro.topologies.torus import TorusTopology

@@ -4,14 +4,13 @@ import csv
 import io
 import math
 
-import pytest
-
 from repro.experiments.ascii_plot import ascii_curves
 from repro.experiments.csvout import format_table, rows_to_csv, write_csv
 from repro.experiments.figures import (curves_from_rows, latency_rows,
                                        run_fig12, run_table1)
 from repro.experiments.latency import run_point
-from repro.experiments.sweep import compare_networks, default_rates, sweep_rates
+from repro.experiments.sweep import (compare_networks, default_rates,
+                                     sweep_rates)
 from repro.traffic.workload import WorkloadSpec
 
 
@@ -128,3 +127,40 @@ class TestCsvOut:
 
     def test_format_table_empty(self):
         assert format_table([]) == "(empty table)"
+
+
+class TestReplicatedFigures:
+    def test_bands_from_rows_skips_single_seed_rows(self):
+        from repro.experiments.figures import bands_from_rows
+        rows = [
+            {"noc": "quarc", "config": "M=8", "rate": 0.01,
+             "unicast_lat": 10.0, "unicast_ci95": 2.0},
+            {"noc": "quarc", "config": "M=8", "rate": 0.02,
+             "unicast_lat": 12.0},                   # single-seed row
+            {"noc": "quarc-model", "config": "M=8", "rate": 0.01,
+             "unicast_lat": 9.0, "unicast_ci95": ""},  # analytic overlay
+        ]
+        bands = bands_from_rows(rows, "unicast_lat")
+        assert bands == {"quarc M=8": [(0.01, 8.0, 12.0)]}
+        assert bands_from_rows(rows, "accepted") == {}
+
+    def test_ascii_curves_renders_ci_bands(self):
+        curves = {"quarc": [(0.01, 10.0), (0.02, 40.0)]}
+        bands = {"quarc": [(0.01, 5.0, 20.0), (0.02, 30.0, 55.0)]}
+        chart = ascii_curves(curves, bands=bands)
+        assert ":" in chart
+        assert "95% CI band" in chart
+        # without bands the legend note disappears
+        assert "95% CI band" not in ascii_curves(curves)
+
+    def test_figure_driver_threads_replicates(self):
+        from repro.experiments.figures import run_fig9
+        rows = run_fig9(fast=True, msg_lens=(4,), replicates=2,
+                        workers=2)
+        assert rows and all(r["replicates"] == 2 for r in rows)
+        assert all("unicast_ci95" in r for r in rows)
+
+    def test_format_mean_ci(self):
+        from repro.experiments.csvout import format_mean_ci
+        assert format_mean_ci(12.34, 1.27) == "12.3 ±1.3"
+        assert format_mean_ci(12.34, 0.0) == "12.3"

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.noc.buffers import FlitBuffer
-from repro.noc.packet import Packet, UNICAST
+from repro.noc.packet import Packet
 from repro.noc.ports import OutPort
 from repro.noc.router import Router, commit_move
 

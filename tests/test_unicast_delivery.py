@@ -11,7 +11,7 @@ import pytest
 
 from repro.core.api import build_network
 from repro.core.collector import LatencyCollector
-from repro.noc.packet import Packet, UNICAST
+from repro.noc.packet import Packet
 from repro.topologies import (MeshTopology, QuarcTopology,
                               SpidergonTopology, TorusTopology)
 
