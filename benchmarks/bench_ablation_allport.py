@@ -12,10 +12,9 @@ knee must move up with deeper lanes for both networks (wormhole blocking
 relaxes), a design-space check DESIGN.md calls out.
 """
 
+from benchlib import emit
 from repro.experiments.latency import run_point
 from repro.traffic.workload import WorkloadSpec
-
-from benchlib import emit
 
 
 def _run():

@@ -9,10 +9,9 @@ absorb-and-forward mechanism -- which DESIGN.md calls out as the paper's
 key broadcast claim.
 """
 
+from benchlib import emit
 from repro.experiments.latency import run_point
 from repro.traffic.workload import WorkloadSpec
-
-from benchlib import emit
 
 
 def _run():

@@ -26,7 +26,6 @@ import time
 from typing import Dict, List, Optional
 
 from benchlib import backend_equivalence_failures, emit
-
 from repro.experiments.figures import APP_WORKLOADS, app_scenario_rows
 from repro.experiments.sweep import sweep_scenarios
 from repro.sim.records import RunSummary

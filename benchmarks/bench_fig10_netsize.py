@@ -10,9 +10,8 @@ Shape assertions:
   (the paper's Fig. 10 shows the same sim-vs-analysis agreement).
 """
 
-from repro.experiments.figures import run_fig10
-
 from benchlib import emit, finite
+from repro.experiments.figures import run_fig10
 
 
 def test_fig10_netsize(benchmark):

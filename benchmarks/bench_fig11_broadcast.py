@@ -9,9 +9,8 @@ Shape assertions:
   ("severely reduces the sustainable load in the network").
 """
 
-from repro.experiments.figures import run_fig11
-
 from benchlib import emit, finite
+from repro.experiments.figures import run_fig11
 
 
 def test_fig11_broadcast(benchmark):

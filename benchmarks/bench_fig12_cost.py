@@ -6,9 +6,8 @@ here are *predictions* from the shared calibration (see repro.hw.report),
 so the ordering and the ~15% saving are genuine model outputs.
 """
 
-from repro.hw.report import PAPER_SPIDERGON_TOTAL_32, cost_sweep
-
 from benchlib import emit
+from repro.hw.report import PAPER_SPIDERGON_TOTAL_32, cost_sweep
 
 
 def test_fig12_cost(benchmark):

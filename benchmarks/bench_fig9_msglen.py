@@ -8,9 +8,8 @@ Shape assertions (the paper's claims, not its absolute OMNeT++ numbers):
 * both networks' latency rises with injection rate.
 """
 
-from repro.experiments.figures import run_fig9
-
 from benchlib import emit, finite
+from repro.experiments.figures import run_fig9
 
 
 def test_fig9_msglen(benchmark):

@@ -27,7 +27,6 @@ import time
 from typing import Dict, List, Optional
 
 from benchlib import backend_equivalence_failures, emit
-
 from repro.experiments.sweep import sweep_scenarios
 from repro.sim.records import RunSummary
 from repro.traffic.workload import WorkloadSpec

@@ -8,10 +8,12 @@ the optimized backends' contracts:
 * **identical `RunSummary`** on every workload, for every backend;
 * ``active``: >= 3x faster than ``reference`` at idle-heavy low load
   (its fast-forward regime);
-* ``array``: >= 1.5x faster than ``reference`` in the near-saturation
-  band on at least one topology (its batched-arbitration regime -- the
-  region the paper's latency/load figures live in, where ``active``
-  degenerates to parity).
+* ``array``: >= 5x faster than ``reference`` in the near-saturation
+  band on **every** large topology (quarc, spidergon, torus, mesh) --
+  the region the paper's latency/load figures live in, where
+  ``active`` degenerates to parity.  The ratio assumes the compiled
+  cycle kernel (``repro.sim.ckernel``); the pure-numpy fallback sits
+  around 3-4x.
 
 Two entry points:
 
@@ -57,9 +59,16 @@ from repro.traffic.workload import WorkloadSpec
 
 #: (name, spec, band) -- ``band`` selects which floor applies:
 #: "low" carries the active-backend fast-forward floor, "sat" carries
-#: the array-backend batched-arbitration floor, "mid" is tracked only.
-#: The saturation rates sit at ~0.9x the analytic saturation point
-#: (`repro.analysis.saturation_rate`), inside the knee region of Fig. 9.
+#: the array-backend floor (gated per topology: all four large
+#: networks must clear it), "mid" is tracked only.  Where an analytic
+#: model exists (quarc, spidergon) the saturation rates sit at ~0.9x
+#: the analytic saturation point (`repro.analysis.saturation_rate`);
+#: mesh/torus rates are placed empirically just past the knee
+#: (``saturated`` must report True).  Saturation workloads use long
+#: messages (16-24 flits): that is the regime the paper's latency/load
+#: figures live in, and it keeps the measurement dominated by the
+#: cycle kernel rather than by injection bookkeeping shared with the
+#: reference engine.
 WORKLOADS: List[Tuple[str, WorkloadSpec, str]] = [
     ("low_load_quarc64",
      WorkloadSpec(kind="quarc", n=64, msg_len=8, beta=0.0, rate=0.0002,
@@ -76,8 +85,14 @@ WORKLOADS: List[Tuple[str, WorkloadSpec, str]] = [
     ("sat_quarc64",
      WorkloadSpec(kind="quarc", n=64, msg_len=16, beta=0.0, rate=0.0138,
                   cycles=6_000, warmup=1_500, seed=1), "sat"),
+    ("sat_spidergon64",
+     WorkloadSpec(kind="spidergon", n=64, msg_len=24, beta=0.0,
+                  rate=0.0092, cycles=6_000, warmup=1_500, seed=1), "sat"),
     ("sat_torus64",
-     WorkloadSpec(kind="torus", n=64, msg_len=8, beta=0.0, rate=0.06,
+     WorkloadSpec(kind="torus", n=64, msg_len=24, beta=0.0, rate=0.02,
+                  cycles=6_000, warmup=1_500, seed=1), "sat"),
+    ("sat_mesh64",
+     WorkloadSpec(kind="mesh", n=64, msg_len=16, beta=0.0, rate=0.0225,
                   cycles=6_000, warmup=1_500, seed=1), "sat"),
 ]
 
@@ -85,10 +100,12 @@ WORKLOADS: List[Tuple[str, WorkloadSpec, str]] = [
 #: because CI machines are noisy and the horizons are cut 5x.
 ACTIVE_LOW_LOAD_FLOOR_FULL = 3.0
 ACTIVE_LOW_LOAD_FLOOR_SMOKE = 1.5
-#: The array floor must hold on >= 1 "sat" workload (not all: small
-#: networks under-fill the vector lanes and stay near parity).
-ARRAY_SAT_FLOOR_FULL = 1.5
-ARRAY_SAT_FLOOR_SMOKE = 1.2
+#: The array floor holds on **every** "sat" workload -- all four large
+#: topologies, not just the friendliest one.  5x assumes the compiled
+#: cycle kernel engages (it falls back to pure numpy only when the
+#: host has no C compiler, which CI does).
+ARRAY_SAT_FLOOR_FULL = 5.0
+ARRAY_SAT_FLOOR_SMOKE = 3.0
 
 
 def _smoke_spec(spec: WorkloadSpec) -> WorkloadSpec:
@@ -232,12 +249,13 @@ def test_low_load_speedup_and_equivalence():
 def test_saturation_speedup_and_equivalence():
     """The array-backend contract: identical stats, clearly faster in
     the near-saturation band on the big network (loose pytest floor;
-    the 1.5x acceptance floor is enforced by the full script run)."""
+    the 5x per-topology acceptance floor is enforced by the full
+    script run)."""
     by_name = {name: spec for name, spec, _ in WORKLOADS}
     spec = _smoke_spec(by_name["sat_quarc64"])
     result = compare_backends(spec, repeats=2)
     assert result["identical_summaries"], result
-    assert result["speedup_array"] >= 1.2, result
+    assert result["speedup_array"] >= 2.0, result
 
 
 # ----------------------------------------------------------------------
@@ -312,7 +330,7 @@ def main(argv=None) -> int:
         "workloads": {},
     }
     failures = []
-    best_sat_array = 0.0
+    sat_speedups: Dict[str, float] = {}
     for name, spec, band in WORKLOADS:
         if args.smoke:
             spec = _smoke_spec(spec)
@@ -334,16 +352,25 @@ def main(argv=None) -> int:
                 f"{name}: active speedup {result['speedup_active']}x "
                 f"below {active_floor}x low-load floor")
         if band == "sat":
-            best_sat_array = max(best_sat_array, result["speedup_array"])
-    if best_sat_array < array_floor:
-        failures.append(
-            f"array backend best saturation-band speedup "
-            f"{best_sat_array}x below {array_floor}x floor")
-    report["best_saturation_speedup_array"] = best_sat_array
+            sat_speedups[name] = result["speedup_array"]
+            if not result["saturated"]:
+                failures.append(
+                    f"{name}: workload no longer saturates (retune the "
+                    f"injection rate)")
+            # every topology individually: a regression on one network
+            # must not hide behind a healthy ratio on another
+            if result["speedup_array"] < array_floor:
+                failures.append(
+                    f"{name}: array speedup {result['speedup_array']}x "
+                    f"below {array_floor}x saturation floor")
+    report["best_saturation_speedup_array"] = max(
+        sat_speedups.values(), default=0.0)
+    report["worst_saturation_speedup_array"] = min(
+        sat_speedups.values(), default=0.0)
     if not args.smoke:
         # Ratchet: a full-mode report records the floors a *future*
         # --baseline gate will read as 70% of what this run actually
-        # measured (weakest low-load active speedup / best
+        # measured (weakest low-load active speedup / weakest
         # saturation-band array speedup), never below the built-in
         # constants -- so committing a faster baseline tightens the CI
         # gate automatically instead of freezing it at the constants.
@@ -353,7 +380,8 @@ def main(argv=None) -> int:
         report["speedup_floor_low_load_active"] = max(
             ACTIVE_LOW_LOAD_FLOOR_FULL, round(0.7 * low_active, 2))
         report["speedup_floor_saturation_array"] = max(
-            ARRAY_SAT_FLOOR_FULL, round(0.7 * best_sat_array, 2))
+            ARRAY_SAT_FLOOR_FULL,
+            round(0.7 * report["worst_saturation_speedup_array"], 2))
 
     if args.json:
         with open(args.json, "w") as fh:

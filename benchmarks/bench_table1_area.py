@@ -7,9 +7,8 @@ The area model is calibrated to reproduce this table exactly at the
 two qualitative observations (buffers dominate; crossbar + FCU minimal).
 """
 
-from repro.hw.report import PAPER_QUARC_TABLE1, table1
-
 from benchlib import emit
+from repro.hw.report import PAPER_QUARC_TABLE1, table1
 
 
 def _generate():

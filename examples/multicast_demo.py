@@ -12,7 +12,7 @@ Shows the whole multicast stack working together:
 Run:  python examples/multicast_demo.py
 """
 
-from repro import FlitCodec, MULTICAST, build_network
+from repro import MULTICAST, FlitCodec, build_network
 from repro.core.collector import LatencyCollector
 from repro.core.quadrant import QuadrantCalculator
 from repro.sim.backend import make_backend

@@ -14,7 +14,7 @@ enumerates the registry).
 Run:  python examples/quickstart.py
 """
 
-from repro import Packet, UNICAST, build_network
+from repro import UNICAST, Packet, build_network
 from repro.core.collector import LatencyCollector
 from repro.sim.backend import make_backend
 from repro.sim.session import RunConfig, SimulationSession

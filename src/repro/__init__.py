@@ -25,14 +25,14 @@ Quickstart
 True
 """
 
-from repro.core.api import build_network, NETWORK_KINDS
+from repro.core.api import NETWORK_KINDS, build_network
 from repro.core.collector import LatencyCollector
 from repro.core.packet_format import FlitCodec
 from repro.core.quadrant import QuadrantCalculator
 from repro.noc.network import Network
 from repro.noc.packet import (BROADCAST, MULTICAST, RELAY, UNICAST,
                               CollectiveOp, Packet)
-from repro.sim.backend import (ActiveSetBackend, BACKENDS,
+from repro.sim.backend import (BACKENDS, ActiveSetBackend,
                                ReferenceBackend, SimBackend)
 from repro.sim.engine import Simulator
 from repro.sim.session import RunConfig, SimulationSession

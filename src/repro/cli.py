@@ -58,15 +58,15 @@ from typing import List, Optional
 from repro.analysis import saturation_rate, stage_coefficients
 from repro.analysis.models import average_hops
 from repro.core.api import NETWORK_KINDS
-from repro.sim.backend import BACKENDS
 from repro.experiments.ascii_plot import ascii_curves
 from repro.experiments.csvout import format_table, write_csv
 from repro.experiments.figures import (bands_from_rows, curves_from_rows,
-                                       latency_rows, run_fig9, run_fig10,
-                                       run_fig11, run_fig12, run_table1)
+                                       latency_rows, run_fig10, run_fig11,
+                                       run_fig12, run_fig9, run_table1)
 from repro.experiments.latency import run_point
 from repro.experiments.sweep import (compare_networks, default_rates,
                                      default_workload_rates)
+from repro.sim.backend import BACKENDS
 from repro.traffic.workload import WorkloadSpec
 
 __all__ = ["main", "build_parser"]
@@ -108,8 +108,8 @@ def build_parser() -> argparse.ArgumentParser:
                         default="reference",
                         help="simulation engine, identical results: "
                              "active = active-set fast path (idle-heavy "
-                             "loads), array = batched numpy kernel with "
-                             "sparse fallback (near-saturation sweeps)")
+                             "loads), array = array-resident engine with "
+                             "compiled cycle kernel (fastest, all loads)")
         if workers:
             sp.add_argument("--workers", type=_positive_int, default=1,
                             help="parallel processes sharding the "

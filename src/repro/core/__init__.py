@@ -21,13 +21,13 @@
   points.
 """
 
-from repro.core.api import build_network, NETWORK_KINDS
+from repro.core.api import NETWORK_KINDS, build_network
 from repro.core.collector import LatencyCollector
 from repro.core.quadrant import QuadrantCalculator
 from repro.core.quarc_router import QuarcRouter
 from repro.core.quarc_transceiver import QuarcTransceiver
-from repro.core.spidergon_router import SpidergonRouter
 from repro.core.spidergon_adapter import SpidergonAdapter
+from repro.core.spidergon_router import SpidergonRouter
 
 __all__ = [
     "build_network",

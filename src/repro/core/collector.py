@@ -23,7 +23,7 @@ its aggregate statistics bit-identical.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
 
 from repro.sim.stats import BatchMeans, OnlineStats, aggregate_values
 
@@ -123,15 +123,23 @@ class LatencyCollector:
         return stats
 
     def on_unicast(self, pkt: "Packet", now: int) -> None:
+        self.on_unicast_cols(pkt.created, pkt.cls, now)
+
+    def on_unicast_cols(self, created: int, cls: Optional[str],
+                        now: int) -> None:
+        """Column-based unicast delivery: same accounting as
+        :meth:`on_unicast` but fed from an array engine's flit payload
+        columns (inject-cycle and class-id), so a delivery does not need
+        the :class:`~repro.noc.packet.Packet` object at all."""
         self.delivered_unicast += 1
-        measured = pkt.created >= self.warmup
+        measured = created >= self.warmup
         if measured:
-            self.unicast.add(now - pkt.created)
-        if pkt.cls is not None:
-            stats = self._class_stats(pkt.cls)
+            self.unicast.add(now - created)
+        if cls is not None:
+            stats = self._class_stats(cls)
             stats.delivered += 1
             if measured:
-                stats.latency.add(now - pkt.created)
+                stats.latency.add(now - created)
 
     def on_collective_delivery(self, op: "CollectiveOp", now: int) -> None:
         if op.created >= self.warmup:

@@ -13,7 +13,7 @@ exactly the contrast the Quarc's true broadcast is designed to win.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple, TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable, Optional, Tuple
 
 from repro.core.collector import LatencyCollector
 from repro.noc.network import Adapter
@@ -122,6 +122,12 @@ class MeshRouter(Router):
         dy = self._y_steps(dr)
         return (self.s_out if dy > 0 else self.n_out), False
 
+    def route_table(self, buf: "FlitBuffer"):
+        """XY routing reads only (ingress role, destination), so every
+        buffer is tabulable for every traffic class -- the software
+        broadcast is plain serialised unicasts on the wire."""
+        return self._probe_route_table(buf)
+
 
 class TorusRouter(MeshRouter):
     """Mesh router + wraparound links, shortest-direction per dimension."""
@@ -152,10 +158,12 @@ class DORAdapter(Adapter):
         self.router = router
         self.collector = collector or LatencyCollector()
 
+    #: unicast delivery is exactly ``collector.on_unicast`` -- lets array
+    #: engines account unicast tails straight from their payload columns
+    unicast_via_collector = True
+
     def _enqueue(self, pkt: Packet) -> None:
-        q = self.router.local_q
-        for i in range(pkt.size):
-            q.push(pkt, i)
+        self.router.local_q.push_packet(pkt)
 
     def send(self, pkt: Packet, now: int) -> None:
         if pkt.traffic != UNICAST:

@@ -34,7 +34,7 @@ branches' coverage exactly the N-1 other nodes with no duplicates.
 
 from __future__ import annotations
 
-from typing import Tuple, TYPE_CHECKING
+from typing import TYPE_CHECKING, Tuple
 
 from repro.noc.packet import BROADCAST, MULTICAST
 from repro.noc.router import Router
@@ -191,3 +191,16 @@ class QuarcRouter(Router):
         if pkt.dst == me:
             return self.ej_xl, False
         return self.ccw_out, self._absorb_here(pkt)
+
+    def route_table(self, buf: "FlitBuffer"):
+        # Network-ingress cloning reads the traffic class (and the
+        # multicast bitstring), so only the fixed-output local queues
+        # are tabulable for every traffic class.
+        if buf.role >= LOC_R:
+            return self._probe_route_table(buf)
+        return None
+
+    def unicast_route_table(self, buf: "FlitBuffer"):
+        # Unicasts never clone: eject-or-forward is a pure function of
+        # the destination for every ingress.
+        return self._probe_route_table(buf)

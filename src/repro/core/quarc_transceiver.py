@@ -28,7 +28,7 @@ doubled cross link.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 from repro.core.collector import LatencyCollector
 from repro.core.quadrant import QuadrantCalculator
@@ -68,10 +68,12 @@ class QuarcTransceiver(Adapter):
     # ------------------------------------------------------------------
     # injection side
     # ------------------------------------------------------------------
+    #: unicast delivery is exactly ``collector.on_unicast`` -- lets array
+    #: engines account unicast tails straight from their payload columns
+    unicast_via_collector = True
+
     def _enqueue(self, quadrant: str, pkt: Packet) -> None:
-        q = self.queues[quadrant]
-        for i in range(pkt.size):
-            q.push(pkt, i)
+        self.queues[quadrant].push_packet(pkt)
 
     def send(self, pkt: Packet, now: int) -> None:
         """Accept a unicast from the PE: quadrant-select and enqueue."""

@@ -18,7 +18,7 @@ N/4 + M.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable, List, Optional
 
 from repro.core.collector import LatencyCollector
 from repro.noc.network import Adapter
@@ -45,10 +45,13 @@ class SpidergonAdapter(Adapter):
     # ------------------------------------------------------------------
     # injection side
     # ------------------------------------------------------------------
+    #: unicast delivery is exactly ``collector.on_unicast`` -- lets array
+    #: engines account unicast tails straight from their payload columns
+    unicast_via_collector = True
+
     def _enqueue(self, pkt: Packet, replication: bool = False) -> None:
         q = self.router.repl_q if replication else self.router.local_q
-        for i in range(pkt.size):
-            q.push(pkt, i)
+        q.push_packet(pkt)
 
     def send(self, pkt: Packet, now: int) -> None:
         if pkt.traffic != UNICAST:

@@ -21,7 +21,7 @@ the rim output ports.
 
 from __future__ import annotations
 
-from typing import Tuple, TYPE_CHECKING
+from typing import TYPE_CHECKING, Tuple
 
 from repro.noc.router import Router
 
@@ -128,3 +128,9 @@ class SpidergonRouter(Router):
         # cross ingress: finish along the shorter rim direction
         k = (pkt.dst - me) % n
         return (self.cw_out if k <= n - k else self.ccw_out), False
+
+    def route_table(self, buf: "FlitBuffer"):
+        """Across-first routing reads only (ingress role, destination);
+        relay segments route exactly like unicasts, so the table holds
+        for every traffic class."""
+        return self._probe_route_table(buf)

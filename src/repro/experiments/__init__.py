@@ -9,14 +9,14 @@
 * :mod:`repro.experiments.csvout` -- CSV emission for every figure/table.
 """
 
-from repro.experiments.latency import run_point
-from repro.experiments.sweep import (
-    default_rates,
-    sweep_rates,
-    compare_networks,
-)
 from repro.experiments.ascii_plot import ascii_curves
 from repro.experiments.csvout import rows_to_csv, write_csv
+from repro.experiments.latency import run_point
+from repro.experiments.sweep import (
+    compare_networks,
+    default_rates,
+    sweep_rates,
+)
 
 __all__ = [
     "run_point",

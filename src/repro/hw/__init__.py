@@ -24,13 +24,13 @@ from repro.hw.primitives import (
     table_cost,
 )
 from repro.hw.quarc_switch import quarc_switch_area
-from repro.hw.spidergon_switch import spidergon_switch_area
 from repro.hw.report import (
     PAPER_QUARC_TABLE1,
     PAPER_SPIDERGON_TOTAL_32,
     cost_sweep,
     table1,
 )
+from repro.hw.spidergon_switch import spidergon_switch_area
 
 __all__ = [
     "SliceEstimate",

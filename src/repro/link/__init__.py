@@ -9,10 +9,10 @@ handshake itself is a tested artefact.  The FSMs run on the
 """
 
 from repro.link.locallink import (
+    Frame,
     LocalLinkDestination,
     LocalLinkSource,
     LocalLinkWire,
-    Frame,
     run_link,
 )
 

@@ -20,6 +20,8 @@ per-packet output-VC allocation, and back-pressure equivalent to the
 LocalLink ``CH_STATUS_N`` buffer-status signalling.
 """
 
+from repro.noc.buffers import FlitBuffer
+from repro.noc.network import Network
 from repro.noc.packet import (
     BROADCAST,
     MULTICAST,
@@ -28,10 +30,8 @@ from repro.noc.packet import (
     CollectiveOp,
     Packet,
 )
-from repro.noc.buffers import FlitBuffer
 from repro.noc.ports import OutPort
 from repro.noc.router import Router
-from repro.noc.network import Network
 
 __all__ = [
     "Packet",

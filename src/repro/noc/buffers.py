@@ -13,7 +13,7 @@ departs.
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional, Tuple, TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.noc.packet import Packet
@@ -48,7 +48,7 @@ class FlitBuffer:
     """
 
     __slots__ = ("q", "capacity", "label", "router", "role",
-                 "cur_out", "cur_vc", "cur_deliver", "fed")
+                 "cur_out", "cur_vc", "cur_deliver", "fed", "sink")
 
     def __init__(self, capacity: int, label: str = "",
                  router: Optional["Router"] = None, role: int = -1):
@@ -70,6 +70,15 @@ class FlitBuffer:
         self.cur_out: Optional["OutPort"] = None
         self.cur_vc = 0
         self.cur_deliver = False
+        #: Array-resident state redirect.  ``None`` on the reference path
+        #: (one attribute test per push); when an
+        #: :class:`~repro.sim.array_backend.ArrayBackend` owns the
+        #: simulation state, it installs its staging list here and every
+        #: :meth:`push` / :meth:`push_packet` appends ``(buffer, packet,
+        #: flit_index)`` (``-1`` = whole packet) instead of touching the
+        #: object deque -- the flits enter the flat arrays at the next
+        #: step's fold, never this object graph.
+        self.sink: Optional[list] = None
 
     # -- occupancy ------------------------------------------------------
     def __len__(self) -> int:
@@ -92,6 +101,9 @@ class FlitBuffer:
         """Append a flit.  Raises on overflow -- the sender must have
         checked ``full`` first (credit discipline); a raise here means a
         flow-control bug, not a recoverable condition."""
+        if self.sink is not None:
+            self.sink.append((self, packet, flit_index))
+            return
         q = self.q
         if len(q) >= self.capacity:
             raise OverflowError(
@@ -107,20 +119,23 @@ class FlitBuffer:
             f = r.flits
             r.flits = f + 1
             net = r.net
-            if net is not None:
-                if not f and net.wake_set is not None:
-                    # 0 -> 1 transition: the router just became active
-                    # (active-set backend hook; None costs one test).
-                    net.wake_set.add(r)
-                sink = net.push_sink
-                if sink is not None:
-                    # array-backend state export: every push is logged so
-                    # flat occupancy mirrors can be refreshed lazily, and
-                    # empty -> nonempty transitions (a new head flit,
-                    # whose route must be recomputed) separately.
-                    sink.append(self)
-                    if was_empty:
-                        net.head_sink.append(self)
+            if net is not None and not f and net.wake_set is not None:
+                # 0 -> 1 transition: the router just became active
+                # (active-set backend hook; None costs one test).
+                net.wake_set.add(r)
+
+    def push_packet(self, packet: "Packet") -> None:
+        """Append all flits of ``packet`` (indices ``0..size-1``) in one
+        call -- the injection path used by the network adapters.  On the
+        reference path this is just the per-flit loop; when an array
+        engine owns the state, the whole packet is staged as a single
+        entry, so injection cost does not scale with message length on
+        the Python side."""
+        if self.sink is not None:
+            self.sink.append((self, packet, -1))
+            return
+        for fidx in range(packet.size):
+            self.push(packet, fidx)
 
     def head(self) -> Optional[Tuple["Packet", int]]:
         return self.q[0] if self.q else None

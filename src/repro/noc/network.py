@@ -12,7 +12,7 @@ the two-phase semantics.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set, TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
 from repro.noc.ports import Move
 from repro.noc.router import Router, commit_move
@@ -82,16 +82,16 @@ class Network:
         #: whose flit count transitions 0 -> 1, so the backend only ever
         #: visits routers that can possibly move a flit.
         self.wake_set: Optional[Set[Router]] = None
-        #: Buffer-push sinks for array-state mirrors.  ``None`` by default;
-        #: an :class:`repro.sim.array_backend.ArrayBackend` installs lists
-        #: here and :meth:`FlitBuffer.push` appends the pushed buffer to
-        #: ``push_sink`` on *every* push (occupancy changed) and to
-        #: ``head_sink`` on empty -> nonempty transitions (the front flit
-        #: changed, so any cached routing decision is stale).  Pops all
-        #: happen inside :func:`repro.noc.router.commit_move`, which fast
-        #: backends drive themselves, so no pop sink is needed.
-        self.push_sink: Optional[List["FlitBuffer"]] = None
-        self.head_sink: Optional[List["FlitBuffer"]] = None
+        #: State-ownership inversion hook.  ``None`` means the object
+        #: graph (buffer deques, port tables) is the simulation state and
+        #: :meth:`step` walks it.  When an array engine adopts the
+        #: network it installs itself here; :meth:`step`,
+        #: :meth:`total_flits`, :meth:`state_snapshot` and
+        #: :meth:`buffer_occupancy` then delegate -- the last two after
+        #: the engine materialises the object view -- so existing
+        #: callers (drain loops, probes, the differential harness) stay
+        #: oblivious to where the state actually lives.
+        self.state_owner = None
         for r in routers:
             r.net = self
         for a in adapters:
@@ -109,6 +109,9 @@ class Network:
         step can never rewind time (which would corrupt latency stamps and
         ``drain``'s cycle accounting).
         """
+        owner = self.state_owner
+        if owner is not None:
+            return owner.step(now if now is not None else self.cycle)
         if now is None or now < self.cycle:
             now = self.cycle
         moves = self._moves
@@ -164,6 +167,9 @@ class Network:
     # introspection / invariant checks (used heavily by tests)
     # ------------------------------------------------------------------
     def total_flits(self) -> int:
+        owner = self.state_owner
+        if owner is not None:
+            return owner.total_flits()
         return sum(r.flits for r in self.routers)
 
     def drain(self, max_cycles: int = 1_000_000) -> int:
@@ -183,6 +189,9 @@ class Network:
         return self.cycle - start
 
     def buffer_occupancy(self) -> List[int]:
+        owner = self.state_owner
+        if owner is not None:
+            owner.materialize()
         return [r.occupancy() for r in self.routers]
 
     # ------------------------------------------------------------------
@@ -206,6 +215,9 @@ class Network:
         two networks driven by different backends can be compared
         cycle-by-cycle.  Used by ``tests/differential.py`` to pinpoint
         the first diverging cycle of a backend pair."""
+        owner = self.state_owner
+        if owner is not None:
+            owner.materialize()
         # Note: ``pkt.vclass`` is deliberately absent.  Its dimension-turn
         # reset (mesh/torus ``route_head``) is applied lazily by the
         # reference loop (at the next arbitration scan) but may be applied

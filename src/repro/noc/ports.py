@@ -19,7 +19,7 @@ local PE is an ideal sink absorbing one flit per cycle per ejection port.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple, TYPE_CHECKING
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.noc.buffers import FlitBuffer

@@ -27,14 +27,14 @@ the switch", Sec. 2.5.1).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple, TYPE_CHECKING
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.noc.buffers import FlitBuffer
+from repro.noc.packet import Packet
 from repro.noc.ports import Move, OutPort
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.noc.network import Network
-    from repro.noc.packet import Packet
 
 __all__ = ["Router", "commit_move"]
 
@@ -98,6 +98,40 @@ class Router:
         blocked head flit per cycle).
         """
         raise NotImplementedError
+
+    def route_table(self, buf: FlitBuffer):
+        """Destination-indexed routing rows for array engines, or ``None``.
+
+        When this buffer's routing decision is a pure function of the
+        packet's destination (for *every* traffic class), return a list
+        of ``(port, clone_to_local, vclass_reset)`` rows indexed by
+        destination node; an array engine then resolves header requests
+        by table lookup and never calls :meth:`route_head` on the hot
+        path.  The default ``None`` means "not tabulable" and keeps the
+        per-header ``route_head`` path in charge.
+        """
+        return None
+
+    def unicast_route_table(self, buf: FlitBuffer):
+        """Like :meth:`route_table`, but the rows need only hold for
+        unicast packets (engines gate the lookup on the traffic class).
+        Default: whatever :meth:`route_table` offers."""
+        return self.route_table(buf)
+
+    def _probe_route_table(self, buf: FlitBuffer):
+        """Tabulate :meth:`route_head` by probing every destination with
+        a throwaway unicast packet -- reusing the real routing function
+        means a table can never drift from the scalar semantics.  The
+        ``vclass_reset`` column records whether routing rewound the
+        probe's VC class (the mesh/torus dimension-turn reset)."""
+        pkt = Packet(self.node, 0, 1, 0)
+        rows = []
+        for dst in range(self.n):
+            pkt.dst = dst
+            pkt.vclass = 9          # sentinel; real classes are 0/1
+            port, deliver = self.route_head(buf, pkt)
+            rows.append((port, bool(deliver), pkt.vclass != 9))
+        return rows
 
     # ------------------------------------------------------------------
     # per-cycle phase A

@@ -33,13 +33,14 @@ instrumentation go through the kernel.
 """
 
 from repro.sim.backend import (
-    ActiveSetBackend,
     BACKENDS,
+    ActiveSetBackend,
     ReferenceBackend,
     SimBackend,
     make_backend,
 )
 from repro.sim.engine import Event, Simulator
+from repro.sim.records import LatencySample, RunSummary
 from repro.sim.rng import RngStreams
 from repro.sim.stats import (
     BatchMeans,
@@ -47,7 +48,6 @@ from repro.sim.stats import (
     OnlineStats,
     WarmupFilter,
 )
-from repro.sim.records import LatencySample, RunSummary
 
 __all__ = [
     "ActiveSetBackend",

@@ -1,0 +1,147 @@
+/* One simulation cycle over the array-resident state (phase A pick +
+ * phase B commit), compiled on demand by repro.sim.ckernel.
+ *
+ * This is a line-for-line port of ArrayBackend._scalar_cycle /
+ * _commit_scalar: eligibility and the round-robin pick read only
+ * start-of-cycle state, then winners commit in ascending flat-port
+ * order (the reference collection order).  Everything that needs
+ * Python objects -- tail deliveries, dateline vclass upgrades, route
+ * refreshes, side-deque refills -- is *not* done here; the kernel
+ * appends the corresponding events to the out* buffers and the Python
+ * wrapper replays them in the documented residue order.
+ *
+ * Array contract (all caller-owned, fixed addresses while attached):
+ * int64 state/geometry arrays and uint8 flag arrays exactly as laid
+ * out in array_backend.py.  bestpr must arrive filled with BIG; the
+ * kernel re-arms every slot it consumes, so the scratch stays valid
+ * across calls without a per-cycle reset.
+ */
+
+#include <stdint.h>
+
+#define FSHIFT 20
+#define TAILBIT ((int64_t)1 << 19)
+#define FIDMASK (TAILBIT - 1)
+#define BIG ((int64_t)1 << 30)
+
+int64_t repro_cycle(
+    int64_t B, int64_t P, int64_t PV, int64_t SB, int64_t Fm1,
+    int64_t *qlen, int64_t *front, int64_t *rhead,
+    int64_t *want, int64_t *vcreq, int64_t *jof,
+    int64_t *pvb, int64_t *pvb2,
+    uint8_t *dlv, uint8_t *hdrf, uint8_t *ne, uint8_t *fullb,
+    int64_t *owner, int64_t *rr, int64_t *fs,
+    const int64_t *down, const int64_t *rbase, const int64_t *rmask,
+    const int64_t *qcap, const uint8_t *isdl,
+    int64_t *rflat,
+    int64_t *bestpr, int64_t *bestb, int64_t *bestvc,
+    int64_t *outw, int64_t *outdl, int64_t *outdel, int64_t *outrf,
+    int64_t *counts)
+{
+    int64_t b, p;
+    int64_t moved = 0, ndl = 0, ndel = 0, nrf = 0, nej = 0;
+
+    /* phase A: eligibility + per-port round-robin pick.  Ascending b
+     * with a strict '<' keeps the reference tie-break (lowest flat
+     * buffer index at equal priority). */
+    for (b = 0; b < B; b++) {
+        int64_t vc, pr;
+        if (!ne[b])
+            continue;
+        if (hdrf[b]) {
+            int64_t pv = pvb[b];
+            if (owner[pv] == -1 && !fullb[down[pv]]) {
+                vc = vcreq[b];
+            } else {
+                int64_t pv2 = pvb2[b];
+                if (pv2 < PV && owner[pv2] == -1 && !fullb[down[pv2]])
+                    vc = 1;
+                else
+                    continue;
+            }
+            p = want[b];
+        } else {
+            p = want[b];
+            if (p < 0 || fullb[down[pvb[b]]])
+                continue;
+            vc = vcreq[b];
+        }
+        pr = (jof[b] - rr[p]) & Fm1;
+        if (pr < bestpr[p]) {
+            bestpr[p] = pr;
+            bestb[p] = b;
+            bestvc[p] = vc;
+        }
+    }
+
+    /* phase B: commit winners in ascending flat-port order */
+    for (p = 0; p < P; p++) {
+        int64_t f, aid, pv, ql, rh, dst, vc;
+        int tail, headf;
+        if (bestpr[p] >= BIG)
+            continue;
+        bestpr[p] = BIG;            /* re-arm the scratch slot */
+        b = bestb[p];
+        vc = bestvc[p];
+        f = front[b];
+        aid = f >> FSHIFT;
+        tail = (f & TAILBIT) != 0;
+        headf = (f & FIDMASK) == 0;
+        pv = 2 * p + vc;
+        /* pop */
+        ql = qlen[b] - 1;
+        qlen[b] = ql;
+        rh = rhead[b] + 1;
+        rhead[b] = rh;
+        ne[b] = ql > 0;
+        fullb[b] = 0;
+        if (ql > 0)
+            front[b] = rflat[rbase[b] + (rh & rmask[b])];
+        /* switching tables */
+        if (headf && !tail)
+            owner[pv] = b;
+        else if (tail && owner[pv] == b)
+            owner[pv] = -1;
+        if (tail)
+            want[b] = -1;
+        hdrf[b] = 0;
+        vcreq[b] = vc;
+        pvb[b] = pv;
+        fs[p] += 1;
+        rr[p] = jof[b] + 1;
+        outw[moved++] = b;
+        /* deliver-clone, then eject or dateline+push (reference order;
+         * the Python wrapper replays outdel entries in sequence) */
+        if (tail && dlv[b])
+            outdel[ndel++] = (aid << 16) | p;
+        dst = down[pv];
+        if (dst == SB) {
+            if (tail)
+                outdel[ndel++] = (aid << 16) | p;
+            nej++;
+        } else {
+            int64_t dql;
+            if (isdl[p])
+                outdl[ndl++] = f;
+            dql = qlen[dst];
+            rflat[rbase[dst] + ((rhead[dst] + dql) & rmask[dst])] = f;
+            qlen[dst] = dql + 1;
+            if (dql + 1 >= qcap[dst])
+                fullb[dst] = 1;
+            if (dql == 0) {
+                ne[dst] = 1;
+                front[dst] = f;
+                if (want[dst] < 0)
+                    outrf[nrf++] = dst;
+            }
+        }
+        if (tail && ql > 0)
+            outrf[nrf++] = b;
+    }
+    counts[0] = moved;
+    counts[1] = ndl;
+    counts[2] = ndel;
+    counts[3] = nrf;
+    counts[4] = nej;
+    return moved;
+}

@@ -17,12 +17,14 @@ and registers itself when numpy is importable):
   network is empty it precomputes the traffic process in blocks and jumps
   the clock straight to the next arrival instead of spinning empty
   cycles.
-* :class:`~repro.sim.array_backend.ArrayBackend` -- the batched numpy
-  kernel: phase A (arbitration) for every output port evaluated at once
-  over flat per-port state arrays, phase B through the shared
-  ``commit_move``.  Targets the near-saturation band where the active
-  set covers the whole network and per-port Python arbitration is the
-  cost.
+* :class:`~repro.sim.array_backend.ArrayBackend` -- the array-resident
+  state engine: it adopts ownership of the network's state into flat
+  numpy arrays (the object graph becomes a lazily-materialised view)
+  and runs both arbitration and commit over those arrays -- in a
+  compiled C cycle kernel where a compiler is available, in
+  vectorised/scalar numpy otherwise.  Targets the near-saturation band
+  where the active set covers the whole network and per-move Python is
+  the cost; see ``array_backend.py`` for the ownership contract.
 
 Why the results are bit-identical
 ---------------------------------
@@ -50,7 +52,7 @@ is ``None`` unless an active-set backend installs it.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set, Type, TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Type
 
 from repro.noc.ports import Move
 from repro.noc.router import Router, commit_move

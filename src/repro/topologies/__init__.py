@@ -8,10 +8,10 @@ analytical models consult them for load calculations; the tests use them
 """
 
 from repro.topologies.base import Channel, Topology
+from repro.topologies.mesh import MeshTopology
+from repro.topologies.quarc import QuarcTopology
 from repro.topologies.ring import RingTopology, ccw_dist, cw_dist, ring_dist
 from repro.topologies.spidergon import SpidergonTopology
-from repro.topologies.quarc import QuarcTopology
-from repro.topologies.mesh import MeshTopology
 from repro.topologies.torus import TorusTopology
 
 __all__ = [

@@ -11,13 +11,13 @@ named-scenario spec strings by :mod:`repro.workloads`.
 
 from repro.traffic.generators import (
     BernoulliInjector,
-    DestinationPattern,
-    UniformPattern,
-    HotspotPattern,
-    TransposePattern,
     BitComplementPattern,
+    DestinationPattern,
+    HotspotPattern,
     NeighbourPattern,
     PermutationPattern,
+    TransposePattern,
+    UniformPattern,
 )
 from repro.traffic.mix import TrafficMix
 from repro.traffic.workload import WorkloadSpec

@@ -33,10 +33,10 @@ pattern-independent.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, \
-    TYPE_CHECKING
+from typing import (TYPE_CHECKING, Callable, Dict, List, Optional,
+                    Sequence, Tuple)
 
-from repro.noc.packet import Packet, UNICAST
+from repro.noc.packet import UNICAST, Packet
 from repro.sim.rng import RngStreams
 from repro.traffic.generators import (BernoulliInjector, DestinationPattern,
                                       UniformPattern)

@@ -45,6 +45,9 @@ Modules
     named workloads.
 """
 
+from repro.workloads import appmodels as _appmodels  # noqa: F401 (registers)
+from repro.workloads.appmodels import (allreduce_classes,
+                                       cache_coherence_classes)
 from repro.workloads.arrivals import BurstyInjector, TraceInjector
 from repro.workloads.registry import (ARRIVAL, PATTERN, WORKLOAD,
                                       ArrivalModel, ScenarioInfo,
@@ -56,9 +59,6 @@ from repro.workloads.registry import (ARRIVAL, PATTERN, WORKLOAD,
                                       resolve_workload, scenario_table)
 from repro.workloads.trace import (TRACE_FORMAT, TRACE_FORMAT_V2, Trace,
                                    TraceRecorder)
-from repro.workloads import appmodels as _appmodels  # noqa: F401 (registers)
-from repro.workloads.appmodels import (allreduce_classes,
-                                       cache_coherence_classes)
 
 __all__ = [
     "ARRIVAL",

@@ -44,7 +44,8 @@ from repro.sim.session import RunConfig, SimulationSession
 from repro.traffic.workload import WorkloadSpec
 
 __all__ = ["Divergence", "make_config", "run_summaries", "find_divergence",
-           "random_configs", "assert_backends_equivalent"]
+           "random_configs", "assert_backends_equivalent",
+           "multicast_burst_inject", "targeted_configs"]
 
 
 def make_config(kind: str = "quarc", n: int = 8, msg_len: int = 4,
@@ -107,7 +108,8 @@ def _diff_state(a: Dict[str, object], b: Dict[str, object],
 
 def find_divergence(config: RunConfig, backend_a: str, backend_b: str,
                     cycles: Optional[int] = None,
-                    drain_limit: int = 100_000) -> Optional[Divergence]:
+                    drain_limit: int = 100_000,
+                    inject=None) -> Optional[Divergence]:
     """Run two backends cycle-by-cycle and return the first divergence.
 
     Both sessions receive identical injections (same seeds, same
@@ -117,6 +119,12 @@ def find_divergence(config: RunConfig, backend_a: str, backend_b: str,
     config's horizon) plus a bounded drain -- so bugs that only
     manifest once traffic stops (stale caches touched by the emptying
     network) are still localised.
+
+    ``inject(session, t)``, when given, runs right after the mix's own
+    ``generate`` each cycle on both sessions -- the hook the targeted
+    corpus uses to drive traffic the declarative mix cannot express
+    (e.g. ``send_multicast`` with explicit target sets).  It MUST be
+    deterministic in ``t`` alone, never in per-session state.
     """
     sessions = [SimulationSession(config.with_backend(name))
                 for name in (backend_a, backend_b)]
@@ -132,6 +140,8 @@ def find_divergence(config: RunConfig, backend_a: str, backend_b: str,
         for t in range(horizon):
             for s in sessions:
                 s.mix.generate(t)
+                if inject is not None:
+                    inject(s, t)
                 s.backend.step(t)
             div = compare(t)
             if div is not None:
@@ -236,6 +246,67 @@ def random_configs(seed: int, count: int,
             pattern=pattern,
             arrival=rng.choice(_FUZZ_ARRIVALS),
             **cfg_extra)
+
+
+# ----------------------------------------------------------------------
+# targeted corpus: traffic shapes the randomized stream under-samples
+# ----------------------------------------------------------------------
+def multicast_burst_inject(seed: int, every: int = 25, width: int = 3,
+                           size: int = 3):
+    """An ``inject`` hook for :func:`find_divergence` that fires dense
+    multicast bursts: every ``every`` cycles, ``width`` nodes each issue
+    ``send_multicast`` to a random target set in the same cycle.
+
+    Deterministic in ``(seed, t)`` only, so both lockstep sessions see
+    byte-identical traffic.  Multicasts are the one cast the
+    declarative mix cannot express (explicit target sets -> the Quarc
+    bitstring path; serialised unicast fan-out everywhere else), so the
+    randomized corpus never exercises them without this hook.
+    """
+    def inject(session, t: int) -> None:
+        if t % every:
+            return
+        n = session.net.n
+        rng = random.Random((seed << 24) ^ t)
+        for _ in range(width):
+            src = rng.randrange(n)
+            k = rng.randrange(2, max(3, n // 2))
+            targets = rng.sample([d for d in range(n) if d != src], k)
+            session.net.adapters[src].send_multicast(targets, size, t)
+    return inject
+
+
+def targeted_configs() -> List[Tuple[str, RunConfig, Optional[object]]]:
+    """Hand-aimed ``(name, config, inject)`` cases for regimes the
+    random stream under-samples: dense multicast bursts (bitstring
+    absorption on the Quarc, serialised fan-out elsewhere) and
+    dateline-heavy torus traffic (every wrap crossing re-routes the
+    packet's VC class mid-flight)."""
+    cases: List[Tuple[str, RunConfig, Optional[object]]] = [
+        ("quarc_multicast_bursts",
+         make_config(kind="quarc", n=16, msg_len=4, beta=0.05, rate=0.02,
+                     cycles=800, warmup=150, seed=31),
+         multicast_burst_inject(31, every=20, width=4, size=4)),
+        ("mesh_multicast_bursts",
+         make_config(kind="mesh", n=16, msg_len=4, beta=0.0, rate=0.02,
+                     cycles=800, warmup=150, seed=33),
+         multicast_burst_inject(33, every=25, width=3, size=3)),
+        # hotspot at a corner of the 4x4 torus: shortest-direction
+        # routing drags half the traffic across the wrap links, so
+        # dateline VC upgrades fire constantly under backpressure
+        ("torus_dateline_hotspot",
+         make_config(kind="torus", n=16, msg_len=9, beta=0.0, rate=0.12,
+                     cycles=900, warmup=200, seed=37,
+                     pattern="hotspot:node=0,p=0.5"), None),
+        # every -1-neighbour message from row/col 0 crosses a dateline;
+        # bursty arrivals pile messages up behind the wrap links
+        ("torus_dateline_neighbour",
+         make_config(kind="torus", n=16, msg_len=6, beta=0.0, rate=0.15,
+                     cycles=900, warmup=200, seed=41,
+                     pattern="neighbour:offset=-1",
+                     arrival="bursty:on=0.3,len=8"), None),
+    ]
+    return cases
 
 
 def assert_backends_equivalent(config: RunConfig,

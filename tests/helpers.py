@@ -9,7 +9,7 @@ resolved against ``benchmarks/conftest.py`` and broke collection.
 from __future__ import annotations
 
 from repro.noc.network import Network
-from repro.noc.packet import Packet, UNICAST
+from repro.noc.packet import UNICAST, Packet
 
 __all__ = ["drain", "send_one", "run_cycles"]
 

@@ -13,8 +13,8 @@ import random
 import pytest
 
 from repro.core.api import NETWORK_KINDS, build_network
-from repro.noc.packet import Packet, UNICAST
-from repro.sim.backend import (ActiveSetBackend, ArrayBackend, BACKENDS,
+from repro.noc.packet import UNICAST, Packet
+from repro.sim.backend import (BACKENDS, ActiveSetBackend, ArrayBackend,
                                make_backend)
 from repro.sim.session import RunConfig, SimulationSession
 from repro.traffic.generators import BernoulliInjector
@@ -134,13 +134,15 @@ class TestActiveSet:
 
 
 class TestArrayBackend:
-    def test_registered_and_constructible(self):
+    def test_adopts_and_detaches_state_ownership(self):
         net, _ = build_network("quarc", 8)
         be = make_backend("array", net)
         assert isinstance(be, ArrayBackend)
-        assert net.push_sink == [] and net.head_sink == []
+        assert net.state_owner is be
+        assert all(b.sink is be._staged for b in net.iter_buffers())
         be.detach()
-        assert net.push_sink is None and net.head_sink is None
+        assert net.state_owner is None
+        assert all(b.sink is None for b in net.iter_buffers())
 
     def test_second_attach_rejected(self):
         net, _ = build_network("quarc", 8)
@@ -150,16 +152,37 @@ class TestArrayBackend:
         be.detach()
         ArrayBackend(net)               # fine after detach
 
+    def test_engaged_at_every_size(self):
+        """No minimum-size floor: even an 8-node network runs on the
+        arrays (the census only picks scalar vs vector execution)."""
+        for kind in NETWORK_KINDS:
+            net, _ = build_network(kind, 8)
+            be = ArrayBackend(net)
+            assert not be._fallback, kind
+            assert net.state_owner is be, kind
+            be.detach()
+
     def test_preloaded_network_is_packed(self):
-        """Flits already in flight at attach time must be mirrored."""
+        """Flits already in flight at attach time enter the arrays."""
         net, _ = build_network("spidergon", 8)
         net.adapters[0].send(Packet(0, 4, 4, UNICAST, created=0), 0)
         be = ArrayBackend(net)
         assert be._inflight == 4
         be.drain()
         assert net.deliveries == 1
-        be.step()       # the sparse census trails commits by one step
-        assert be._inflight == 0 and not be._busy()
+        assert be._inflight == 0 and be.in_flight() == 0
+
+    def test_network_step_delegates_to_engine(self):
+        """While attached, ``net.step()`` / ``net.total_flits()`` ARE
+        the engine -- there is no bypass path that could stale state."""
+        net, _ = build_network("quarc", 8)
+        be = ArrayBackend(net)
+        net.adapters[0].send(Packet(0, 4, 4, UNICAST, created=0), 0)
+        assert net.total_flits() == 4
+        drained = net.drain()           # drives owner.step throughout
+        assert drained > 0
+        assert net.deliveries == 1
+        assert be._inflight == 0
 
     def test_detach_restores_reference_path(self):
         net, _ = build_network("quarc", 8)
@@ -168,87 +191,117 @@ class TestArrayBackend:
         net.adapters[0].send(Packet(0, 3, 2, UNICAST, created=0), 0)
         assert net.drain() > 0          # reference path unaffected
 
-    def test_resync_after_external_steps(self):
-        """net.step() outside the backend stales the mirrors; resync
-        must restore exact equivalence."""
-        spec = WorkloadSpec(kind="torus", n=16, msg_len=8, beta=0.0,
-                            rate=0.1, cycles=400, warmup=100, seed=7)
-        ref = SimulationSession(RunConfig(spec=spec, backend="reference"))
-        arr = SimulationSession(RunConfig(spec=spec, backend="array"))
-        for t in range(150):
-            ref.mix.generate(t)
-            ref.net.step(t)
-            arr.mix.generate(t)
-            if t == 60:                 # sidestep the backend once
-                arr.net.step(t)
-                arr.backend.resync()
-            else:
-                arr.backend.step(t)
-        for t in range(150, 400):
-            ref.mix.generate(t)
-            ref.net.step(t)
-            arr.mix.generate(t)
-            arr.backend.step(t)
-        assert ref.net.state_snapshot() == arr.net.state_snapshot()
-
-    def test_mirrors_consistent_after_vector_run(self):
-        """Every mirror must equal the object truth while the vector
-        kernel is engaged (a saturated 64-node net keeps it engaged)."""
-        spec = WorkloadSpec(kind="quarc", n=64, msg_len=16, beta=0.0,
-                            rate=0.014, cycles=600, warmup=100, seed=7)
+    def test_materialized_view_matches_arrays(self):
+        """After a saturated run, the lazily-materialised object graph
+        must agree with the arrays on every piece of state."""
+        spec = WorkloadSpec(kind="quarc", n=16, msg_len=8, beta=0.0,
+                            rate=0.1, cycles=600, warmup=100, seed=7)
         session = SimulationSession(RunConfig(spec=spec, backend="array"))
         session.run()
         be = session.backend
-        assert be._vector_mode, "saturated quarc64 should use the kernel"
-        be._drain_sinks()
+        be.materialize()
         for b, buf in enumerate(be._bufs):
-            assert be._occ[b] == len(buf.q), buf
-            assert be._nonempty[b] == (len(buf.q) > 0), buf
-            assert be._fullb[b] == (len(buf.q) >= buf.capacity), buf
-            if buf.cur_out is not None:
-                assert be._want[b] == be._pid[buf.cur_out], buf
-                assert be._vcreq[b] == buf.cur_vc, buf
-        for p, port in enumerate(be._ports):
-            assert be._rr[p, 0] == port.rr, port
-            for v in range(port.vcs):
-                own = port.owner[v]
-                assert be._owner[p, v] == (
-                    -1 if own is None else be._bid[own]), port
-        assert be._inflight == session.net.total_flits()
+            assert int(be._qlen[b]) == len(buf.q), buf
+            assert bool(be._ne[b]) == (len(buf.q) > 0), buf
+            streaming = int(be._want[b]) >= 0 and not be._hdrf[b]
+            assert (buf.cur_out is not None) == streaming, buf
+            if streaming:
+                assert buf.cur_out is be._ports[int(be._want[b])], buf
+                assert buf.cur_vc == int(be._vcreq[b]), buf
+        total = 0
+        for pi, port in enumerate(be._ports):
+            nf = len(port.feeders)
+            assert port.rr == (int(be._rr[pi]) % nf if nf else 0), port
+            assert port.flits_sent == int(be._fs[pi]), port
+            for vc in (0, 1):
+                o = int(be._owner[2 * pi + vc])
+                assert port.owner[vc] is (
+                    be._bufs[o] if o >= 0 else None), port
+            assert port.live_feeders == sum(
+                1 for fb in port.feeders if fb.q), port
+        for r in session.net.routers:
+            assert r.flits == sum(len(bb.q) for bb in r.in_bufs), r
+            total += r.flits
+        assert total == be._inflight
+
+    def test_resync_escape_hatch(self):
+        """Documented contract: materialize(), mutate the object graph,
+        resync() -- the arrays re-adopt the edited state."""
+        net, _ = build_network("quarc", 8)
+        be = ArrayBackend(net)
+        be.materialize()
+        buf = net.routers[0].in_bufs[0]         # a local injection queue
+        sink, buf.sink = buf.sink, None         # object-graph edit
+        buf.push_packet(Packet(0, 4, 3, UNICAST, created=0))
+        buf.sink = sink
+        be.resync()
+        assert be._inflight == 3
+        be.drain()
+        assert net.deliveries == 1
+
+    def test_scalar_and_vector_paths_agree(self, monkeypatch):
+        """Forcing one execution path or the other must not change a
+        single bit of the run summary.  The C kernel bypasses the
+        census dispatch, so it is disabled here -- this case pins the
+        scalar-vs-vector numpy paths specifically."""
+        monkeypatch.setenv("REPRO_ARRAY_CKERNEL", "0")
+        spec = WorkloadSpec(kind="torus", n=16, msg_len=8, beta=0.0,
+                            rate=0.1, cycles=500, warmup=100, seed=9)
+        sums = []
+        saved = ArrayBackend.SCALAR_MAX
+        try:
+            for scalar_max in (0, ArrayBackend.SCALAR_MAX, 10 ** 9):
+                ArrayBackend.SCALAR_MAX = scalar_max
+                session = SimulationSession(
+                    RunConfig(spec=spec, backend="array"))
+                assert session.backend._ck is None
+                sums.append(session.run())
+                session.backend.detach()
+        finally:
+            ArrayBackend.SCALAR_MAX = saved
+        assert sums[0] == sums[1] == sums[2]
+
+    def test_compiled_kernel_matches_numpy_paths(self, monkeypatch):
+        """The compiled cycle kernel is an implementation detail: with
+        it on (default where a C compiler exists) and off, the summary
+        is bit-identical.  Skips nothing -- when compilation is
+        unavailable both runs use the numpy engine and still agree."""
+        spec = WorkloadSpec(kind="quarc", n=16, msg_len=8, beta=0.1,
+                            rate=0.08, cycles=600, warmup=100, seed=21)
+        sums = {}
+        for env in ("0", "1"):
+            monkeypatch.setenv("REPRO_ARRAY_CKERNEL", env)
+            session = SimulationSession(RunConfig(spec=spec,
+                                                  backend="array"))
+            if env == "0":
+                assert session.backend._ck is None
+            sums[env] = session.run()
+            session.backend.detach()
+        assert sums["0"] == sums["1"]
+
+    def test_fallback_mode_is_reference_semantics(self, monkeypatch):
+        """REPRO_ARRAY_FALLBACK=1 keeps the engine in object mode: no
+        adoption, identical results, and the flag round-trips."""
+        monkeypatch.setenv("REPRO_ARRAY_FALLBACK", "1")
+        spec = WorkloadSpec(kind="spidergon", n=8, msg_len=4, beta=0.1,
+                            rate=0.05, cycles=800, warmup=150, seed=13)
+        session = SimulationSession(RunConfig(spec=spec, backend="array"))
+        assert session.backend._fallback
+        assert session.net.state_owner is None
+        fb = session.run()
+        session.backend.detach()
+        monkeypatch.delenv("REPRO_ARRAY_FALLBACK")
+        session = SimulationSession(RunConfig(spec=spec, backend="array"))
+        assert not session.backend._fallback
+        assert fb == session.run()
+        session.backend.detach()
 
     def test_clock_clamps_like_reference(self):
         net, _ = build_network("quarc", 8)
-        be = ArrayBackend(net)
-        be.step(10)
+        ArrayBackend(net).step(10)
         assert net.cycle == 11
-        be.step(2)
+        net.step(2)
         assert net.cycle == 12
-
-    def test_small_networks_stay_on_the_sparse_path(self):
-        """Below VECTOR_MIN_PORTS the numpy kernel never amortizes; the
-        backend must arbitrate through the object path instead."""
-        net, _ = build_network("quarc", 8)      # 64 ports << threshold
-        be = ArrayBackend(net)
-        assert be._vector_min is None
-        assert not be._vector_mode
-
-    def test_mode_switches_with_occupancy(self):
-        """Fill a big network -> vector kernel engages; drain it ->
-        sparse fallback resumes.  Results stay reference-identical
-        throughout (the equivalence matrix covers that); this pins the
-        switching itself."""
-        spec = WorkloadSpec(kind="quarc", n=64, msg_len=16, beta=0.0,
-                            rate=0.014, cycles=600, warmup=100, seed=3)
-        session = SimulationSession(RunConfig(spec=spec, backend="array"))
-        be = session.backend
-        assert not be._vector_mode              # empty at start
-        session.run()
-        assert be._vector_mode                  # saturated: kernel on
-        session.drain(max_cycles=200_000)
-        for _ in range(4):
-            be.step()                           # censuses see empty net
-        assert not be._vector_mode              # drained: sparse again
-        assert be.in_flight() == 0
 
 
 class TestGeometricInjector:

@@ -15,10 +15,9 @@ order-of-magnitude broadcast claim.
 
 import pytest
 
+from helpers import drain
 from repro.core.api import build_network
 from repro.core.collector import LatencyCollector
-
-from helpers import drain
 
 
 def run_broadcast(kind, n, size, src=0, **build_kwargs):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.collector import LatencyCollector
-from repro.noc.packet import BROADCAST, CollectiveOp, Packet, UNICAST
+from repro.noc.packet import BROADCAST, UNICAST, CollectiveOp, Packet
 from repro.sim.records import LatencySample, RunSummary
 from repro.traffic.workload import WorkloadSpec
 

@@ -18,10 +18,13 @@ import pytest
 
 from differential import (Divergence, assert_backends_equivalent,
                           find_divergence, make_config, random_configs,
-                          run_summaries)
+                          run_summaries, targeted_configs)
 from repro.sim.backend import BACKENDS
 
 ALL_BACKENDS = sorted(BACKENDS)
+
+#: Hand-aimed cases: dense multicast bursts + dateline-heavy torus.
+TARGETED_CASES = targeted_configs()
 
 #: Deterministic fuzz corpus: every test run sees the same configs.
 SMOKE_CASES = list(random_configs(seed=20260726, count=12))
@@ -111,6 +114,99 @@ class TestDifferentialFuzz:
     def test_nightly_randomized_equivalence(self, case):
         i, cfg = case
         assert_backends_equivalent(cfg, ALL_BACKENDS)
+
+
+class TestTargetedCorpus:
+    """Traffic shapes the randomized stream under-samples, driven in
+    lockstep with full state snapshots compared every cycle."""
+
+    @pytest.mark.parametrize(
+        "case", TARGETED_CASES, ids=[name for name, _, _ in TARGETED_CASES])
+    @pytest.mark.parametrize("backend", ["active", "array"])
+    def test_targeted_lockstep(self, case, backend):
+        name, cfg, inject = case
+        div = find_divergence(cfg, "reference", backend, inject=inject)
+        assert div is None, f"{name}:\n{div.report()}"
+
+    def test_multicast_bursts_deliver(self):
+        """The burst hook must produce real collective traffic, or the
+        lockstep cases above pass vacuously."""
+        name, cfg, inject = TARGETED_CASES[0]
+        from repro.sim.session import SimulationSession
+        session = SimulationSession(cfg.with_backend("reference"))
+        for t in range(200):
+            session.mix.generate(t)
+            inject(session, t)
+            session.backend.step(t)
+        assert session.net.deliveries > 0
+        session.backend.detach()
+
+
+class TestFallbackRoundTrips:
+    """Forced entry/exit of the array engine's escape hatches: the
+    object graph and the arrays must hand state back and forth without
+    losing a flit."""
+
+    def _spec(self):
+        from repro.traffic.workload import WorkloadSpec
+        return WorkloadSpec(kind="torus", n=16, msg_len=6, beta=0.05,
+                            rate=0.08, cycles=600, warmup=100, seed=17)
+
+    def test_fallback_env_round_trip(self, monkeypatch):
+        """array(fallback on) == array(fallback off) == reference,
+        toggled across three fresh sessions of the same spec."""
+        from repro.sim.session import RunConfig, SimulationSession
+        spec = self._spec()
+        sums = []
+        for env in ("1", None, "1"):
+            if env is None:
+                monkeypatch.delenv("REPRO_ARRAY_FALLBACK", raising=False)
+            else:
+                monkeypatch.setenv("REPRO_ARRAY_FALLBACK", env)
+            session = SimulationSession(
+                RunConfig(spec=spec, backend="array"))
+            sums.append(session.run())
+            session.backend.detach()
+        monkeypatch.delenv("REPRO_ARRAY_FALLBACK", raising=False)
+        ref = SimulationSession(RunConfig(spec=spec, backend="reference"))
+        sums.append(ref.run())
+        assert sums[0] == sums[1] == sums[2] == sums[3]
+
+    def test_mid_run_detach_object_steps_resync(self):
+        """Leave the arrays mid-run, advance the object graph directly,
+        re-adopt, finish -- against an uninterrupted reference run."""
+        from repro.sim.session import RunConfig, SimulationSession
+        spec = self._spec()
+        interrupted = SimulationSession(RunConfig(spec=spec,
+                                                  backend="array"))
+        reference = SimulationSession(RunConfig(spec=spec,
+                                                backend="reference"))
+        be = interrupted.backend
+        for t in range(spec.cycles):
+            for s in (interrupted, reference):
+                s.mix.generate(t)
+            if t == 150:
+                be.materialize()
+                be.detach()
+            if 150 <= t < 180:
+                interrupted.net.step(t)     # pure object-graph cycles
+            else:
+                if t == 180:
+                    be.resync()             # re-adopt mid-flight state
+                be.step(t)
+            reference.backend.step(t)
+        t = spec.cycles
+        while (interrupted.net.total_flits()
+               or reference.net.total_flits()):
+            be.step(t)
+            reference.backend.step(t)
+            t += 1
+            assert t < spec.cycles + 100_000
+        snap_a = interrupted.net.state_snapshot()
+        snap_b = reference.net.state_snapshot()
+        assert snap_a == snap_b
+        assert interrupted.net.deliveries == reference.net.deliveries
+        be.detach()
 
 
 class TestKnownRegressions:

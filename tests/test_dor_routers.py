@@ -2,14 +2,13 @@
 
 import pytest
 
+from helpers import drain, send_one
 from repro.core.api import build_network
 from repro.core.collector import LatencyCollector
 from repro.core.dor_router import MeshRouter, TorusRouter
-from repro.noc.packet import Packet, UNICAST
+from repro.noc.packet import UNICAST, Packet
 from repro.topologies.mesh import MeshTopology
 from repro.topologies.torus import TorusTopology
-
-from helpers import drain, send_one
 
 
 def mesh_router(node=0, n=16):

@@ -14,7 +14,7 @@ from repro.sim.session import RunConfig, SimulationSession
 from repro.traffic.generators import NeighbourPattern, UniformPattern
 from repro.traffic.mix import TrafficClass, TrafficMix
 from repro.traffic.workload import WorkloadSpec
-from repro.workloads import (Trace, TraceRecorder, WORKLOAD, get_scenario,
+from repro.workloads import (WORKLOAD, Trace, TraceRecorder, get_scenario,
                              list_scenarios, parse_classes,
                              resolve_workload)
 

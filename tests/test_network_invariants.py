@@ -17,7 +17,7 @@ from hypothesis import given, settings, strategies as st
 from repro.core.api import build_network
 from repro.core.collector import LatencyCollector
 from repro.noc.buffers import FlitBuffer
-from repro.noc.packet import Packet, UNICAST
+from repro.noc.packet import UNICAST, Packet
 from repro.traffic.mix import TrafficMix
 
 

@@ -10,7 +10,7 @@ import pytest
 from repro.core.api import build_network
 from repro.core.quarc_router import QuarcRouter
 from repro.core.spidergon_router import SpidergonRouter
-from repro.noc.packet import BROADCAST, MULTICAST, Packet, UNICAST
+from repro.noc.packet import BROADCAST, MULTICAST, UNICAST, Packet
 
 
 def quarc_router(n=16, node=0, **kw):

@@ -3,10 +3,10 @@ consumers (run_point, parallel sweeps, the CLI ``--backend`` switch)."""
 
 import pytest
 
+from repro.cli import build_parser, main
 from repro.experiments.latency import run_point
 from repro.experiments.sweep import (compare_networks, sweep_rates,
                                      sweep_scenarios)
-from repro.cli import build_parser, main
 from repro.sim.session import RunConfig, SimulationSession, run_config
 from repro.traffic.workload import WorkloadSpec
 

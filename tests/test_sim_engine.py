@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import Simulator, SimulationError
+from repro.sim.engine import SimulationError, Simulator
 
 
 class TestScheduling:

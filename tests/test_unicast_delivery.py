@@ -9,13 +9,12 @@ timing semantics and the deterministic routes simultaneously.
 
 import pytest
 
+from helpers import drain, send_one
 from repro.core.api import build_network
 from repro.core.collector import LatencyCollector
 from repro.noc.packet import Packet
 from repro.topologies import (MeshTopology, QuarcTopology,
                               SpidergonTopology, TorusTopology)
-
-from helpers import drain, send_one
 
 
 def zero_load_latency(kind, n, src, dst, size):
