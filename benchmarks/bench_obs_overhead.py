@@ -1,0 +1,161 @@
+"""Observability overhead: the zero-overhead-when-off guard.
+
+The telemetry layer (``repro.obs``) is opt-in by contract: with
+``RunConfig.obs=None`` the only additions to the shipped execution path
+are one ``if obs:`` test per run, a ``try/finally`` frame around the
+horizon, and the collector's per-delivery ``if self.hist is not None``
+check.  This benchmark measures that contract instead of trusting it:
+
+* **baseline** -- the pre-observability execution shape: a session
+  driven by calling ``backend.run_mix`` directly with only the mid-run
+  backlog probe (no obs branches, no finally frame);
+* **off** -- the shipped ``SimulationSession.run()`` with ``obs=None``;
+  gated at <= 2% over baseline in full mode (25% in smoke mode, where
+  horizons are short and CI timing is noisy -- the point there is
+  catching an accidentally *unconditional* probe loop, which costs far
+  more than 25%);
+* **probes on** -- all five probes at window 64 plus histograms;
+  reported for trend tracking, not gated (sampling cost is opt-in by
+  definition).
+
+Entry points::
+
+    pytest benchmarks/bench_obs_overhead.py      # loose in-repo guard
+    python benchmarks/bench_obs_overhead.py [--smoke] [--check]
+                                            [--json PATH]
+
+``--check`` makes the script exit non-zero when the off/baseline ratio
+exceeds the floor (the CI overhead-guard leg).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+from typing import Dict
+
+from repro.obs import ObsSpec, ProbeSpec
+from repro.sim.session import RunConfig, SimulationSession
+from repro.traffic.workload import WorkloadSpec
+
+#: one mid-load cell on the fastest engine: enough traffic that the
+#: delivery path (the collector's histogram check) is exercised, long
+#: enough that per-run constants vanish into the horizon
+SPEC = WorkloadSpec(kind="quarc", n=16, msg_len=16, beta=0.05,
+                    rate=0.002, cycles=40_000, warmup=5_000, seed=1)
+BACKEND = "array"
+
+ALL_PROBES = tuple(ProbeSpec(name, window=64) for name in
+                   ("occupancy", "links", "rates", "inflight", "stalls"))
+
+#: off/baseline wall-time ratio ceilings
+OFF_OVERHEAD_CEILING_FULL = 1.02
+OFF_OVERHEAD_CEILING_SMOKE = 1.25
+
+
+def _smoke_spec(spec: WorkloadSpec) -> WorkloadSpec:
+    return replace(spec, cycles=max(spec.cycles // 5, 2 * spec.warmup),
+                   warmup=spec.warmup // 2)
+
+
+def _time_baseline(spec: WorkloadSpec, repeats: int) -> float:
+    """Best-of-``repeats`` for the pre-obs execution shape: run_mix
+    driven directly with only the historical mid-run backlog probe."""
+    best = float("inf")
+    for _ in range(repeats):
+        session = SimulationSession(RunConfig(spec=spec, backend=BACKEND))
+        mid = spec.warmup + (spec.cycles - spec.warmup) // 2
+        t0 = time.perf_counter()
+        session.backend.run_mix(session.mix, spec.cycles,
+                                {mid: session._probe_backlog})
+        best = min(best, time.perf_counter() - t0)
+        session.backend.detach()
+    return best
+
+
+def _time_session(spec: WorkloadSpec, obs, repeats: int) -> float:
+    """Best-of-``repeats`` for the shipped session run path."""
+    best = float("inf")
+    for _ in range(repeats):
+        session = SimulationSession(
+            RunConfig(spec=spec, backend=BACKEND, obs=obs))
+        t0 = time.perf_counter()
+        session.run()
+        best = min(best, time.perf_counter() - t0)
+        session.backend.detach()
+    return best
+
+
+def measure(spec: WorkloadSpec, repeats: int = 5) -> Dict[str, float]:
+    """Baseline / off / probes-on timings and their ratios."""
+    baseline = _time_baseline(spec, repeats)
+    off = _time_session(spec, None, repeats)
+    on = _time_session(
+        spec, ObsSpec(probes=ALL_PROBES, latency_hist=True), repeats)
+    return {
+        "baseline_s": round(baseline, 4),
+        "off_s": round(off, 4),
+        "probes_on_s": round(on, 4),
+        "off_ratio": round(off / baseline, 4),
+        "probes_on_ratio": round(on / baseline, 4),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (loose floor: CI wall clocks are noisy)
+# ----------------------------------------------------------------------
+def test_instrumentation_off_is_free():
+    result = measure(_smoke_spec(SPEC), repeats=3)
+    assert result["off_ratio"] <= OFF_OVERHEAD_CEILING_SMOKE, result
+
+
+# ----------------------------------------------------------------------
+# script / CI entry point
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI-sized horizon and the lenient ratio ceiling")
+    ap.add_argument("--check", action="store_true",
+                    help="exit non-zero when the off/baseline ratio "
+                         "exceeds the ceiling (the CI overhead gate)")
+    ap.add_argument("--json", default="",
+                    help="write the report here (default: print only)")
+    ap.add_argument("--repeats", type=int, default=None,
+                    help="timing repeats per variant (default 5, smoke 3)")
+    args = ap.parse_args(argv)
+
+    spec = _smoke_spec(SPEC) if args.smoke else SPEC
+    repeats = args.repeats or (3 if args.smoke else 5)
+    ceiling = (OFF_OVERHEAD_CEILING_SMOKE if args.smoke
+               else OFF_OVERHEAD_CEILING_FULL)
+    result = measure(spec, repeats=repeats)
+    report = {
+        "bench": "obs_overhead",
+        "mode": "smoke" if args.smoke else "full",
+        "backend": BACKEND,
+        "spec": spec.to_dict(),
+        "off_ratio_ceiling": ceiling,
+        **result,
+    }
+    print(f"baseline {result['baseline_s']:.3f}s  "
+          f"obs-off {result['off_s']:.3f}s "
+          f"({result['off_ratio']:.3f}x, ceiling {ceiling}x)  "
+          f"probes-on {result['probes_on_s']:.3f}s "
+          f"({result['probes_on_ratio']:.2f}x, informational)")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"[json] {args.json}")
+    if args.check and result["off_ratio"] > ceiling:
+        print(f"FAIL: instrumentation-off ratio {result['off_ratio']}x "
+              f"exceeds the {ceiling}x ceiling", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

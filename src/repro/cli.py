@@ -46,6 +46,19 @@ byte-identical for every worker count::
 
     repro sweep --replicates 8 --workers 4
     repro run --rate 0.01 --replicates 16 --workers 8
+
+Observability (``repro.obs``, all opt-in): ``run`` accepts repeatable
+``--probe NAME[:window=W]`` windowed samplers (occupancy / links /
+rates / inflight / stalls — byte-identical on every backend),
+``--hist`` latency histograms with per-class percentiles, ``--profile``
+for the phase/kernel wall-time split, ``--metrics-out FILE`` for the
+``repro-metrics/v1`` JSONL (or ``.csv``) export, and ``--progress``
+for a live heartbeat; ``sweep --probe inflight`` adds a saturation
+onset column::
+
+    repro run --rate 0.02 --backend array --probe occupancy:window=64 \\
+              --probe inflight --hist --metrics-out run.metrics.jsonl
+    repro sweep --probe inflight --progress
 """
 
 from __future__ import annotations
@@ -123,6 +136,29 @@ def build_parser() -> argparse.ArgumentParser:
                                  "from --seed; > 1 reports mean / "
                                  "stddev / 95%% CI per metric")
 
+    def add_obs_args(sp, metrics=True):
+        sp.add_argument("--probe", action="append", default=None,
+                        metavar="NAME[:window=W]",
+                        help="sample a telemetry probe (repeatable); "
+                             "names: occupancy, links, rates, inflight, "
+                             "stalls (default window 64)")
+        sp.add_argument("--progress", action="store_true",
+                        help="live heartbeat (cycles/s, ETA, delivered) "
+                             "on stderr")
+        if metrics:
+            sp.add_argument("--hist", action="store_true",
+                            help="collect latency histograms "
+                                 "(p50/p95/p99/max per class)")
+            sp.add_argument("--profile", action="store_true",
+                            help="wall-time phase profile (inject / "
+                                 "phase A / phase B / collect; C kernel "
+                                 "vs Python replay on the array engine)")
+            sp.add_argument("--metrics-out", default="",
+                            metavar="PATH",
+                            help="write the probe stream as "
+                                 "repro-metrics/v1 JSONL (or CSV with a "
+                                 ".csv suffix); requires --probe")
+
     def add_workload_args(sp):
         sp.add_argument("--pattern", default="uniform",
                         help="spatial scenario spec, e.g. "
@@ -147,6 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_net_args(sp, kinds=False)
     add_engine_args(sp, replicates=True)
     add_workload_args(sp)
+    add_obs_args(sp, metrics=False)
     sp.add_argument("--points", type=int, default=5)
     sp.add_argument("--csv", default="", help="write rows to this CSV")
 
@@ -156,6 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
         add_net_args(sp)
         add_engine_args(sp, replicates=True)
         add_workload_args(sp)
+        add_obs_args(sp)
         sp.add_argument("--rate", type=float, default=None,
                         help="messages/node/cycle (required unless "
                              "--workload is given, where it is a rate "
@@ -233,6 +271,57 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _render_point_obs(session, summary, args) -> int:
+    """Print the observability addenda of a probed/profiled point and
+    write the metrics stream; returns a process exit code."""
+    from repro.experiments.ascii_plot import ascii_heatmap, ascii_sparkline
+    from repro.obs.hist import render_histogram
+
+    hist = summary.extra.get("latency_hist")
+    if hist:
+        print()
+        print("latency distribution (cycles):")
+        for line in render_histogram(hist["unicast"], label="unicast"):
+            print("  " + line)
+        if hist["collective"]["n"]:
+            for line in render_histogram(hist["collective"],
+                                         label="collective"):
+                print("  " + line)
+    probe_set = session.probe_set
+    if probe_set is not None:
+        inflight = probe_set.series("inflight")
+        if inflight:
+            print()
+            print(ascii_sparkline([v for _, v in inflight],
+                                  label="inflight"))
+            onset = summary.extra.get("sat_onset", -1)
+            print(f"saturation onset: "
+                  f"{'cycle %d' % onset if onset >= 0 else 'never'}")
+        occupancy = probe_set.series("occupancy")
+        if occupancy:
+            rows = [[occ[r] for _, occ in occupancy]
+                    for r in range(len(occupancy[0][1]))]
+            print()
+            print(ascii_heatmap(rows, title="router occupancy over time"))
+    if session.profiler is not None:
+        print()
+        print(session.profiler.render())
+    if args.metrics_out:
+        from repro.obs.metrics import write_csv as write_metrics_csv
+        from repro.obs.metrics import validate_file, write_jsonl
+        if probe_set is None:
+            print("error: --metrics-out requires at least one --probe",
+                  file=sys.stderr)
+            return 2
+        if args.metrics_out.endswith(".csv"):
+            path = write_metrics_csv(summary, args.metrics_out)
+        else:
+            path = write_jsonl(summary, args.metrics_out)
+            validate_file(path)
+        print(f"[metrics] {path}")
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     if args.workload:
         # multi-class sweeps scale every class rate together: the rate
@@ -243,6 +332,14 @@ def _cmd_sweep(args) -> int:
         rates = default_rates(args.nodes, args.msg_len, args.beta,
                               args.points)
         label = f"N={args.nodes} M={args.msg_len} b={args.beta:g}"
+    obs = None
+    if args.probe:
+        from repro.obs import ObsSpec, parse_probe
+        obs = ObsSpec(probes=tuple(parse_probe(t) for t in args.probe))
+    progress_cb = None
+    if args.progress:
+        from repro.obs.progress import cell_progress
+        progress_cb = cell_progress(label="sweep")
     results = compare_networks(args.nodes, args.msg_len, args.beta,
                                rates=rates, cycles=args.cycles,
                                warmup=args.warmup, seed=args.seed,
@@ -250,7 +347,8 @@ def _cmd_sweep(args) -> int:
                                workers=args.workers,
                                replicates=args.replicates,
                                pattern=args.pattern, arrival=args.arrival,
-                               workload=args.workload)
+                               workload=args.workload, obs=obs,
+                               progress=progress_cb)
     rows = latency_rows(results, label)
     if args.replicates > 1:
         columns = ["noc", "rate", "unicast_lat", "unicast_ci95",
@@ -259,6 +357,10 @@ def _cmd_sweep(args) -> int:
     else:
         columns = ["noc", "rate", "unicast_lat", "bcast_lat",
                    "accepted", "saturated"]
+    if any("sat_onset" in r for r in rows):
+        # probe-derived saturation-onset cycle (single-seed probed
+        # sweeps with an 'inflight' probe; -1 = never saturated)
+        columns.append("sat_onset")
     print()
     print(format_table(rows, columns=columns))
     for metric in ("unicast_lat", "bcast_lat"):
@@ -301,28 +403,55 @@ def _cmd_point(args) -> int:
     rate = _resolve_rate(args)
     if rate is None:
         return 2
+    from repro.obs import obs_from_args
+    obs = obs_from_args(args)
+    if args.metrics_out and not (obs and obs.probes):
+        print("error: --metrics-out requires at least one --probe",
+              file=sys.stderr)
+        return 2
     spec = WorkloadSpec(kind=args.kind, n=args.nodes, msg_len=args.msg_len,
                         beta=args.beta, rate=rate, cycles=args.cycles,
                         warmup=args.warmup, seed=args.seed,
                         pattern=args.pattern, arrival=args.arrival,
                         workload=args.workload)
     if args.replicates > 1:
+        if args.metrics_out:
+            # one stream documents one run; an aggregate has no single
+            # probe stream to write
+            print("error: --metrics-out is a single-run export; it "
+                  "cannot be combined with --replicates > 1",
+                  file=sys.stderr)
+            return 2
         return _run_replicated_point(spec, args)
-    s = run_point(spec, backend=args.backend)
+    if obs is None:
+        s = run_point(spec, backend=args.backend)
+        print(format_table([s.row()]))
+        _print_class_table(s)
+        return 0
+    from repro.sim.session import RunConfig, SimulationSession
+    session = SimulationSession(
+        RunConfig(spec=spec, backend=args.backend, obs=obs))
+    s = session.run()
     print(format_table([s.row()]))
     _print_class_table(s)
-    return 0
+    return _render_point_obs(session, s, args)
 
 
 def _run_replicated_point(spec: WorkloadSpec, args) -> int:
     """One point at R spawned seeds: aggregate row with 95% CIs plus
     the per-seed drill-down rows."""
     from repro.experiments.csvout import format_mean_ci
-    from repro.sim.replication import run_replicated
+    from repro.sim.replication import ExecutionEngine, run_replicated
     from repro.sim.session import RunConfig
 
+    engine = None
+    if getattr(args, "progress", False):
+        from repro.obs.progress import cell_progress
+        engine = ExecutionEngine(args.workers,
+                                 progress=cell_progress(label="replicates"))
     rs = run_replicated(RunConfig(spec=spec, backend=args.backend),
-                        args.replicates, workers=args.workers)
+                        args.replicates, workers=args.workers,
+                        engine=engine)
     print(format_table([rs.row()]))
     uni = rs.metric("unicast_mean")
     print(f"unicast latency: {format_mean_ci(uni.mean, uni.ci_half_width)}"

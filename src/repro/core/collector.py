@@ -29,6 +29,7 @@ from repro.sim.stats import BatchMeans, OnlineStats, aggregate_values
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.noc.packet import CollectiveOp, Packet
+    from repro.obs.hist import HistogramBank
 
 #: ``aggregate_values`` (defined next to its statistics machinery in
 #: :mod:`repro.sim.stats`) is re-exported here as part of the summary
@@ -107,6 +108,11 @@ class LatencyCollector:
         #: per-class delivery breakdown, keyed by traffic-class name
         #: (populated only when the workload tags its messages)
         self.per_class: Dict[str, ClassStats] = {}
+        #: optional latency-distribution sink
+        #: (:class:`repro.obs.hist.HistogramBank`); ``None`` keeps the
+        #: delivery path at one attribute test -- the zero-overhead
+        #: contract of the observability layer
+        self.hist: Optional["HistogramBank"] = None
 
     # -- generation side (called by traffic generators / adapters) -------
     def note_generated(self, collective: bool) -> None:
@@ -135,6 +141,8 @@ class LatencyCollector:
         measured = created >= self.warmup
         if measured:
             self.unicast.add(now - created)
+            if self.hist is not None:
+                self.hist.add_unicast(now - created, cls)
         if cls is not None:
             stats = self._class_stats(cls)
             stats.delivered += 1
@@ -150,6 +158,8 @@ class LatencyCollector:
         measured = op.created >= self.warmup
         if measured:
             self.collective.add(now - op.created)
+            if self.hist is not None:
+                self.hist.add_collective(now - op.created, op.cls)
         if op.cls is not None:
             stats = self._class_stats(op.cls)
             stats.delivered += 1

@@ -11,9 +11,80 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["ascii_curves"]
+__all__ = ["ascii_curves", "ascii_sparkline", "ascii_heatmap"]
 
 _MARKERS = "QSqs*#@+"
+
+#: density ramps shared by the telemetry renderers (pure ASCII, so the
+#: output survives any terminal / CI log encoding)
+_SPARK_LEVELS = " .:-=+*#%@"
+_HEAT_LEVELS = " .:-=+*#%@"
+
+
+def _downsample(values: List[float], width: int) -> List[float]:
+    """Max-pool ``values`` onto ``width`` columns (max, not mean: a
+    one-sample congestion spike must stay visible after pooling)."""
+    n = len(values)
+    if n <= width:
+        return list(values)
+    out = []
+    for c in range(width):
+        lo = c * n // width
+        hi = max((c + 1) * n // width, lo + 1)
+        out.append(max(values[lo:hi]))
+    return out
+
+
+def ascii_sparkline(values: List[float], width: int = 60,
+                    label: str = "") -> str:
+    """One-line density sparkline of a probe time series.
+
+    Values are max-pooled to ``width`` columns and mapped onto an
+    ASCII intensity ramp, normalised by the series maximum; the range
+    is appended so the line is quantitatively readable.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return f"{label} (no samples)" if label else "(no samples)"
+    pooled = _downsample(vals, width)
+    top = max(max(pooled), 1e-12)
+    ramp = _SPARK_LEVELS
+    chars = []
+    for v in pooled:
+        level = int(v / top * (len(ramp) - 1) + 0.5)
+        chars.append(ramp[min(max(level, 0), len(ramp) - 1)])
+    prefix = f"{label:12s} " if label else ""
+    return (f"{prefix}|{''.join(chars)}| "
+            f"min={min(vals):g} max={max(vals):g} n={len(vals)}")
+
+
+def ascii_heatmap(rows: List[List[float]], width: int = 60,
+                  title: str = "", row_label: str = "router",
+                  col_label: str = "sample") -> str:
+    """Render ``rows[r][t]`` (e.g. per-router occupancy over time) as
+    an ASCII heat map -- one text row per entity, one column per
+    (pooled) sample, normalised by the global maximum.
+
+    Returns a printable multi-line string with a ramp legend.
+    """
+    if not rows or not any(rows):
+        return f"{title}\n(no samples)" if title else "(no samples)"
+    ramp = _HEAT_LEVELS
+    top = max((max(r) for r in rows if r), default=0.0)
+    top = max(float(top), 1e-12)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{row_label} \\ {col_label} "
+                 f"(scale: '{ramp[1]}'..'{ramp[-1]}' = 0..{top:g})")
+    for i, series in enumerate(rows):
+        pooled = _downsample([float(v) for v in series], width)
+        cells = []
+        for v in pooled:
+            level = int(v / top * (len(ramp) - 1) + 0.5)
+            cells.append(ramp[min(max(level, 0), len(ramp) - 1)])
+        lines.append(f"{i:4d} |{''.join(cells)}|")
+    return "\n".join(lines)
 
 
 def ascii_curves(curves: Dict[str, List[Tuple[float, float]]],

@@ -24,7 +24,8 @@ scenario-matrix CI job drive.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Union
+from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
+                    Union)
 
 from repro.analysis import saturation_rate
 from repro.sim.records import RunSummary
@@ -105,6 +106,7 @@ def _grouped(engine: ExecutionEngine, cells: Sequence[RunConfig],
 def sweep_rates(spec: WorkloadSpec, rates: Sequence[float],
                 verbose: bool = False, backend: str = "reference",
                 workers: int = 1, replicates: int = 1,
+                progress: Optional[Callable[[int, int], None]] = None,
                 **kwargs) -> List[SweepSummary]:
     """Run ``spec`` at each rate; stops early after two saturated points
     (the curve is vertical there, more points add nothing but runtime).
@@ -119,11 +121,15 @@ def sweep_rates(spec: WorkloadSpec, rates: Sequence[float],
     numbers along the curve) and the result list holds
     :class:`ReplicatedSummary` aggregates; a point counts as saturated
     when at least half its replicates saturated.
+
+    ``progress`` (a ``callback(done, total)``) observes cell
+    completions live; remaining keywords -- e.g. an ``obs=``
+    observability block -- flow into every cell's :class:`RunConfig`.
     """
     specs = list(spec.sweep_rates(rates))
     plan = (ReplicationPlan(spec.seed, replicates)
             if replicates > 1 else None)
-    engine = ExecutionEngine(workers)
+    engine = ExecutionEngine(workers, progress=progress)
     out: List[SweepSummary] = []
     saturated_seen = 0
 
@@ -158,7 +164,8 @@ def compare_networks(n: int, msg_len: int, beta: float,
                      verbose: bool = False, backend: str = "reference",
                      workers: int = 1, pattern: str = "uniform",
                      arrival: str = "bernoulli", workload: str = "",
-                     replicates: int = 1
+                     replicates: int = 1, obs=None,
+                     progress: Optional[Callable[[int, int], None]] = None
                      ) -> Dict[str, List[SweepSummary]]:
     """The paper's core comparison at one (N, M, beta) configuration.
 
@@ -182,9 +189,11 @@ def compare_networks(n: int, msg_len: int, beta: float,
                             workload=workload)
         if verbose:  # pragma: no cover
             print(f"[{kind}] N={n} M={msg_len} beta={beta:g}")
+        kwargs = {"obs": obs} if obs is not None else {}
         results[kind] = sweep_rates(spec, rates, verbose=verbose,
                                     backend=backend, workers=workers,
-                                    replicates=replicates)
+                                    replicates=replicates,
+                                    progress=progress, **kwargs)
     return results
 
 
@@ -194,7 +203,8 @@ def sweep_scenarios(base: WorkloadSpec,
                     kinds: Optional[Sequence[str]] = None,
                     workloads: Optional[Sequence[str]] = None,
                     backend: str = "reference", workers: int = 1,
-                    replicates: int = 1,
+                    replicates: int = 1, obs=None,
+                    progress: Optional[Callable[[int, int], None]] = None,
                     verbose: bool = False) -> List[SweepSummary]:
     """Run the scenario grid ``kinds x patterns x arrivals`` (or, when
     ``workloads`` is given, ``kinds x workloads``) at one rate point
@@ -219,8 +229,9 @@ def sweep_scenarios(base: WorkloadSpec,
                 for k in kinds for p in patterns for a in arrivals]
     plan = (ReplicationPlan(base.seed, replicates)
             if replicates > 1 else None)
-    engine = ExecutionEngine(workers)
-    out = list(_grouped(engine, _cells(grid, backend, plan, {}),
+    engine = ExecutionEngine(workers, progress=progress)
+    kwargs = {"obs": obs} if obs is not None else {}
+    out = list(_grouped(engine, _cells(grid, backend, plan, kwargs),
                         grid, plan))
     if verbose:  # pragma: no cover - console convenience
         for s, summary in zip(grid, out):

@@ -40,6 +40,7 @@ int64_t repro_cycle(
 {
     int64_t b, p;
     int64_t moved = 0, ndl = 0, ndel = 0, nrf = 0, nej = 0;
+    int64_t nscan = 0, ncand = 0;
 
     /* phase A: eligibility + per-port round-robin pick.  Ascending b
      * with a strict '<' keeps the reference tie-break (lowest flat
@@ -48,6 +49,7 @@ int64_t repro_cycle(
         int64_t vc, pr;
         if (!ne[b])
             continue;
+        nscan++;
         if (hdrf[b]) {
             int64_t pv = pvb[b];
             if (owner[pv] == -1 && !fullb[down[pv]]) {
@@ -67,6 +69,7 @@ int64_t repro_cycle(
             vc = vcreq[b];
         }
         pr = (jof[b] - rr[p]) & Fm1;
+        ncand++;
         if (pr < bestpr[p]) {
             bestpr[p] = pr;
             bestb[p] = b;
@@ -143,5 +146,9 @@ int64_t repro_cycle(
     counts[2] = ndel;
     counts[3] = nrf;
     counts[4] = nej;
+    /* work counters for the phase profiler: non-empty buffers scanned
+     * and eligible candidates found this cycle (counts[7] reserved) */
+    counts[5] = nscan;
+    counts[6] = ncand;
     return moved;
 }

@@ -357,7 +357,10 @@ class ArrayBackend(SimBackend):
             self._ck_outdl = np.zeros(max(P, 1), np.int64)
             self._ck_outdel = np.zeros(max(2 * P, 1), np.int64)
             self._ck_outrf = np.zeros(max(2 * P, 1), np.int64)
-            self._ck_counts = np.zeros(5, np.int64)
+            # counts[0..4] = moved/dateline/deliveries/refreshes/
+            # ejections; counts[5..6] = profiler work counters
+            # (buffers scanned, eligible candidates); counts[7] spare
+            self._ck_counts = np.zeros(8, np.int64)
             ptr = lambda a: a.ctypes.data          # noqa: E731
             self._ck_args = (
                 self._B, P, self._PV, self._SB, self._Fm1,

@@ -91,7 +91,7 @@ class RunSummary:
 
     def row(self) -> Dict[str, object]:
         """Flat dict for CSV emission."""
-        return {
+        row: Dict[str, object] = {
             "noc": self.noc,
             "N": self.n,
             "M": self.msg_len,
@@ -104,3 +104,9 @@ class RunSummary:
             "bcast_n": self.bcast_samples,
             "saturated": int(self.saturated),
         }
+        if "sat_onset" in self.extra:
+            # probe-derived saturation-onset cycle (-1 = never); only
+            # present when the run sampled an ``inflight`` probe, so
+            # probe-less tables keep their exact column set
+            row["sat_onset"] = self.extra["sat_onset"]
+        return row

@@ -41,8 +41,8 @@ from __future__ import annotations
 
 import multiprocessing
 from dataclasses import asdict, dataclass, field, replace
-from typing import (Dict, Iterable, Iterator, List, Optional, Sequence,
-                    Tuple)
+from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple)
 
 from repro.sim.records import RunSummary
 from repro.sim.rng import derive_seed
@@ -126,10 +126,17 @@ class ExecutionEngine:
     runs and tests rely on.  Larger runs are *chunked*: several cells
     ride one IPC round trip, sized at roughly four chunks per worker to
     balance scheduling overhead against tail latency.
+
+    ``progress`` is an optional ``callback(done, total)`` fired in the
+    *consumer* process each time a work unit completes (in submission
+    order) -- the seam the live sweep heartbeat
+    (:func:`repro.obs.progress.cell_progress`) plugs into.  It observes
+    execution, never steers it, so it cannot perturb results.
     """
 
     def __init__(self, workers: int = 1,
-                 chunk_size: Optional[int] = None):
+                 chunk_size: Optional[int] = None,
+                 progress: Optional[Callable[[int, int], None]] = None):
         if workers < 1:
             raise ValueError(f"workers must be >= 1 (got {workers})")
         if chunk_size is not None and chunk_size < 1:
@@ -137,6 +144,7 @@ class ExecutionEngine:
                 f"chunk_size must be >= 1 (got {chunk_size})")
         self.workers = workers
         self.chunk_size = chunk_size
+        self.progress = progress
 
     def _chunk_for(self, njobs: int) -> int:
         if self.chunk_size is not None:
@@ -153,15 +161,25 @@ class ExecutionEngine:
         past-knee points.
         """
         jobs = list(configs)
-        if self.workers == 1 or len(jobs) <= 1:
+        total = len(jobs)
+        done = 0
+        if self.workers == 1 or total <= 1:
             for config in jobs:
-                yield _execute(config)
+                summary = _execute(config)
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, total)
+                yield summary
             return
         # exiting the `with` (incl. via GeneratorExit) terminates the
         # pool, discarding undelivered results
-        with multiprocessing.Pool(min(self.workers, len(jobs))) as pool:
-            yield from pool.imap(_execute, jobs,
-                                 chunksize=self._chunk_for(len(jobs)))
+        with multiprocessing.Pool(min(self.workers, total)) as pool:
+            for summary in pool.imap(_execute, jobs,
+                                     chunksize=self._chunk_for(total)):
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, total)
+                yield summary
 
     def run(self, configs: Iterable[RunConfig]) -> List[RunSummary]:
         """All summaries, in submission order."""

@@ -27,8 +27,9 @@ kernels) plugs into: a new engine only has to implement the
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
+from repro.obs import ObsSpec
 from repro.sim.backend import BACKENDS, SimBackend, make_backend
 from repro.sim.records import RunSummary
 from repro.traffic.workload import WorkloadSpec
@@ -50,6 +51,10 @@ class RunConfig:
     backend: str = "reference"
     bcast_mode: str = "clone"           # Quarc ablation: "clone" | "relay"
     clone_disabled: bool = False
+    #: observability block (:class:`repro.obs.ObsSpec`).  ``None`` --
+    #: the default and the zero-overhead path -- installs nothing:
+    #: no probe callbacks, no histogram bank, no profiler wrappers.
+    obs: Optional[ObsSpec] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -65,6 +70,22 @@ def run_config(spec: WorkloadSpec, backend: str = "reference",
                **kwargs) -> RunConfig:
     """Convenience constructor mirroring the old ``run_point`` keywords."""
     return RunConfig(spec=spec, backend=backend, **kwargs)
+
+
+def _merge_probes(probes: Dict[int, Callable[[int], None]],
+                  extra: Dict[int, Callable[[int], None]]) -> None:
+    """Merge probe callbacks cycle-wise, chaining on collisions (the
+    mid-run backlog probe and a telemetry boundary can share a cycle;
+    both must fire, existing callback first)."""
+    for t, cb in extra.items():
+        prev = probes.get(t)
+        if prev is None:
+            probes[t] = cb
+        else:
+            def chained(now, _first=prev, _second=cb):
+                _first(now)
+                _second(now)
+            probes[t] = chained
 
 
 class SimulationSession:
@@ -111,6 +132,15 @@ class SimulationSession:
                 pattern=resolve_pattern(spec.pattern, spec.n),
                 arrival=resolve_arrival(spec.arrival))
         self._backlog_mid = 0
+        # observability (all opt-in; config.obs None leaves every hot
+        # path untouched)
+        self.probe_set = None
+        self.profiler = None
+        self._heartbeat = None
+        obs = config.obs
+        if obs and obs.latency_hist:
+            from repro.obs.hist import HistogramBank
+            self.collector.hist = HistogramBank()
 
     # ------------------------------------------------------------------
     def run(self) -> RunSummary:
@@ -118,8 +148,37 @@ class SimulationSession:
         spec = self.config.spec
         mid = spec.warmup + (spec.cycles - spec.warmup) // 2
         probes: Dict[int, Callable[[int], None]] = {mid: self._probe_backlog}
-        self.backend.run_mix(self.mix, spec.cycles, probes)
+        obs = self.config.obs
+        if obs:
+            self._install_obs(probes, spec.cycles)
+        try:
+            self.backend.run_mix(self.mix, spec.cycles, probes)
+        finally:
+            if self.profiler is not None:
+                self.profiler.finish()
+            if self._heartbeat is not None:
+                self._heartbeat.finish()
         return self.summary()
+
+    def _install_obs(self, probes: Dict[int, Callable[[int], None]],
+                     cycles: int) -> None:
+        """Merge the configured telemetry into the run's probe dict and
+        attach the profiler.  Probe-cycle merging chains callbacks, so
+        the mid-run backlog probe keeps firing on a shared cycle."""
+        obs = self.config.obs
+        t0 = self.net.cycle
+        if obs.probes:
+            from repro.obs.probes import ProbeSet
+            self.probe_set = ProbeSet(obs.probes, self.backend, self.mix)
+            _merge_probes(probes, self.probe_set.schedule(t0, cycles))
+        if obs.progress:
+            from repro.obs.progress import RunHeartbeat
+            self._heartbeat = RunHeartbeat(obs.heartbeat or None)
+            _merge_probes(probes, self._heartbeat.schedule(
+                t0, cycles, self.net, self.collector))
+        if obs.profile:
+            from repro.obs.profiler import PhaseProfiler
+            self.profiler = PhaseProfiler(self).attach()
 
     def _probe_backlog(self, now: int) -> None:
         self._backlog_mid = self.net.total_flits()
@@ -200,6 +259,19 @@ class SimulationSession:
         classes_extra = self._per_class_extra()
         if classes_extra is not None:
             summary.extra["classes"] = classes_extra
+        # observability extras: only present when opted in (golden
+        # fixtures and pre-obs summaries keep their exact shape) and
+        # deterministic across backends (probe streams and histograms
+        # are integer-identical by construction)
+        if self.collector.hist is not None:
+            summary.extra["latency_hist"] = self.collector.hist.to_dict()
+        if self.probe_set is not None:
+            summary.extra["probes"] = self.probe_set.to_extra()
+            inflight = self.probe_set.series("inflight")
+            if inflight:
+                from repro.obs.probes import saturation_onset
+                summary.extra["sat_onset"] = saturation_onset(
+                    inflight, spec.n * msg_len_ref)
         return summary
 
     def _per_class_extra(self):
