@@ -38,6 +38,16 @@ the aggregate row; recordings are ``repro-trace/v2`` (destination,
 class, size and broadcast flag per event), so replay is seed- and
 pattern-independent.
 
+Fault injection: the same commands accept ``--faults`` plans (the
+:mod:`repro.faults` grammar) that kill links or routers at configured
+cycles, identically on every backend; rows then gain ``dropped`` /
+``dead_links`` / ``dead_routers`` columns and the summary carries the
+full accounting in ``extra["faults"]``::
+
+    repro run --rate 0.01 --faults 'links:down=3@cycle=500' \\
+              --backend array
+    repro sweep --faults 'link:src=0,dst=1@cycle=200' --points 4
+
 Replication: ``run``, ``sweep`` and the figure commands accept
 ``--replicates R`` (independent seeds spawned from ``--seed``, reported
 as mean / 95% CI with ASCII error bands) and ``--workers N`` (process
@@ -175,6 +185,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "(overrides -M/--beta/--pattern/--arrival; "
                              "--rate becomes a multiplier on the class "
                              "rates, default 1.0)")
+        sp.add_argument("--faults", default="",
+                        help="fault plan, e.g. "
+                             "'link:src=0,dst=1@cycle=200', "
+                             "'links:down=3@cycle=500' or "
+                             "'router:node=5@cycle=0' (';'-separated "
+                             "clauses; deterministic per --seed)")
 
     sp = sub.add_parser("info", help="topology + analytic model summary")
     add_net_args(sp)
@@ -347,8 +363,8 @@ def _cmd_sweep(args) -> int:
                                workers=args.workers,
                                replicates=args.replicates,
                                pattern=args.pattern, arrival=args.arrival,
-                               workload=args.workload, obs=obs,
-                               progress=progress_cb)
+                               workload=args.workload, faults=args.faults,
+                               obs=obs, progress=progress_cb)
     rows = latency_rows(results, label)
     if args.replicates > 1:
         columns = ["noc", "rate", "unicast_lat", "unicast_ci95",
@@ -413,7 +429,7 @@ def _cmd_point(args) -> int:
                         beta=args.beta, rate=rate, cycles=args.cycles,
                         warmup=args.warmup, seed=args.seed,
                         pattern=args.pattern, arrival=args.arrival,
-                        workload=args.workload)
+                        workload=args.workload, faults=args.faults)
     if args.replicates > 1:
         if args.metrics_out:
             # one stream documents one run; an aggregate has no single
@@ -510,7 +526,7 @@ def _cmd_trace(args) -> int:
                             rate=rate, cycles=args.cycles,
                             warmup=args.warmup, seed=args.seed,
                             pattern=args.pattern, arrival=args.arrival,
-                            workload=args.workload)
+                            workload=args.workload, faults=args.faults)
         session = SimulationSession(
             RunConfig(spec=spec, backend=args.backend))
         recorder = TraceRecorder.attach(session.mix,

@@ -177,8 +177,12 @@ class DORAdapter(Adapter):
         n = self.router.n
         op = CollectiveOp(self.node, now, expected=n - 1, kind=BROADCAST)
         self.collector.note_generated(collective=True)
+        fs = self.net.fault_state if self.net is not None else None
         for dst in range(n):
             if dst == self.node:
+                continue
+            if fs is not None and fs.src_cannot_reach(self.node, dst):
+                fs.source_drop_branch(op)
                 continue
             pkt = Packet(self.node, dst, size, BROADCAST, created=now, op=op)
             self._enqueue(pkt)
@@ -191,7 +195,11 @@ class DORAdapter(Adapter):
             raise ValueError("multicast needs at least one remote target")
         op = CollectiveOp(self.node, now, expected=len(tgts), kind=BROADCAST)
         self.collector.note_generated(collective=True)
+        fs = self.net.fault_state if self.net is not None else None
         for dst in tgts:
+            if fs is not None and fs.src_cannot_reach(self.node, dst):
+                fs.source_drop_branch(op)
+                continue
             pkt = Packet(self.node, dst, size, BROADCAST, created=now, op=op)
             self._enqueue(pkt)
         return op

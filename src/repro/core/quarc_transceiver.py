@@ -75,6 +75,36 @@ class QuarcTransceiver(Adapter):
     def _enqueue(self, quadrant: str, pkt: Packet) -> None:
         self.queues[quadrant].push_packet(pkt)
 
+    def _entry_port(self, quadrant: str):
+        """The link output port a quadrant queue streams into (each
+        local queue feeds exactly one non-ejection port)."""
+        for p in self.queues[quadrant].fed:
+            if not p.is_ejection:
+                return p
+        return None
+
+    def _usable_quadrant(self, fs, preferred: str,
+                         dst: int) -> Optional[str]:
+        """Source-side graceful degradation: the preferred quadrant, or
+        the first other quadrant whose entry link is alive and whose
+        far end can still reach ``dst`` in the live graph.  Quadrant
+        queues are the only place a Quarc packet can change direction
+        (rim ingress cannot turn), so this is the topology's one
+        reroute opportunity; ``None`` means drop at source rather than
+        park the packet behind a dead link forever."""
+        order = [preferred] + [q for q in (RIGHT, LEFT, XRIGHT, XLEFT)
+                               if q != preferred]
+        for q in order:
+            port = self._entry_port(q)
+            if port is None or port.dead:
+                continue
+            nxt = fs._next_node(port)
+            if nxt is None or fs.node_dead(nxt):
+                continue
+            if not fs.src_cannot_reach(nxt, dst):
+                return q
+        return None
+
     def send(self, pkt: Packet, now: int) -> None:
         """Accept a unicast from the PE: quadrant-select and enqueue."""
         if pkt.traffic != UNICAST:
@@ -82,7 +112,14 @@ class QuarcTransceiver(Adapter):
                              "send_multicast for collectives")
         pkt.created = now
         self.collector.note_generated(collective=False)
-        self._enqueue(self.calc.quadrant(pkt.dst), pkt)
+        quadrant = self.calc.quadrant(pkt.dst)
+        fs = self.net.fault_state if self.net is not None else None
+        if fs is not None:
+            quadrant = self._usable_quadrant(fs, quadrant, pkt.dst)
+            if quadrant is None:
+                fs.source_drop_unicast()
+                return
+        self._enqueue(quadrant, pkt)
 
     def send_broadcast(self, size: int, now: int) -> CollectiveOp:
         """Emit a true broadcast: one tagged packet per quadrant (Fig. 6)."""
@@ -99,9 +136,17 @@ class QuarcTransceiver(Adapter):
             XLEFT: (self.node + q + 1) % n,
             XRIGHT: (self.node + 3 * q - 1) % n if q > 1 else None,
         }
+        fs = self.net.fault_state if self.net is not None else None
         for quadrant, dst in branch_dsts.items():
             if dst is None:
                 continue
+            if fs is not None:
+                port = self._entry_port(quadrant)
+                if port is None or port.dead:
+                    # collective branches never detour: a dead entry
+                    # link kills the whole branch at the source
+                    fs.source_drop_branch(op)
+                    continue
             pkt = Packet(self.node, dst, size, BROADCAST, created=now, op=op)
             self._enqueue(quadrant, pkt)
         return op
@@ -122,7 +167,13 @@ class QuarcTransceiver(Adapter):
         branches: Dict[str, List[int]] = {}
         for t in tgts:
             branches.setdefault(self.calc.quadrant(t), []).append(t)
+        fs = self.net.fault_state if self.net is not None else None
         for quadrant, nodes in branches.items():
+            if fs is not None:
+                port = self._entry_port(quadrant)
+                if port is None or port.dead:
+                    fs.source_drop_branch(op)
+                    continue
             far = max(nodes, key=self.calc.hop_distance)
             bits = 0
             for t in nodes:
@@ -138,14 +189,22 @@ class QuarcTransceiver(Adapter):
         n = self.router.n
         cw_count = n // 2            # ceil((N-1)/2) for even N
         ccw_count = (n - 1) - cw_count
+        fs = self.net.fault_state if self.net is not None else None
         for step, count in ((1, cw_count), (-1, ccw_count)):
             if count == 0:
                 continue
             first = (self.node + step) % n
+            quadrant = self.calc.quadrant(first)
+            if fs is not None:
+                port = self._entry_port(quadrant)
+                if (port is None or port.dead
+                        or fs.src_cannot_reach(self.node, first)):
+                    fs.source_drop_branch(op)
+                    continue
             pkt = Packet(self.node, first, size, RELAY, created=now, op=op)
             pkt.meta["dir"] = step
             pkt.meta["remaining"] = count - 1
-            self._enqueue(self.calc.quadrant(first), pkt)
+            self._enqueue(quadrant, pkt)
 
     # ------------------------------------------------------------------
     # delivery side
@@ -183,6 +242,16 @@ class QuarcTransceiver(Adapter):
             return
         step = pkt.meta["dir"]
         nxt = (self.node + step) % self.router.n
+        fs = self.net.fault_state if self.net is not None else None
+        if fs is not None:
+            quadrant = self.calc.quadrant(nxt)
+            port = self._entry_port(quadrant)
+            if (port is None or port.dead
+                    or fs.src_cannot_reach(self.node, nxt)):
+                # the relay chain cannot continue: the remaining
+                # receivers of this broadcast are lost
+                fs.source_drop_branch(op)
+                return
         new = Packet(self.node, nxt, pkt.size, RELAY, created=now, op=op)
         new.meta["dir"] = step
         new.meta["remaining"] = remaining - 1

@@ -68,8 +68,15 @@ class SpidergonAdapter(Adapter):
         self.collector.note_generated(collective=True)
         cw_count = (n - 1 + 1) // 2           # ceil((N-1)/2)
         ccw_count = (n - 1) - cw_count
+        fs = self.net.fault_state if self.net is not None else None
         for step, count in ((1, cw_count), (-1, ccw_count)):
             if count == 0:
+                continue
+            if fs is not None and fs.src_cannot_reach(
+                    self.node, (self.node + step) % n):
+                # the chain's first relay target is gone: the whole
+                # direction's receivers are lost
+                fs.source_drop_branch(op)
                 continue
             pkt = Packet(self.node, (self.node + step) % n, size, RELAY,
                          created=now, op=op)
@@ -99,8 +106,12 @@ class SpidergonAdapter(Adapter):
             (cw_side if k <= n - k else ccw_side).append(t)
         cw_side.sort(key=lambda t: (t - self.node) % n)
         ccw_side.sort(key=lambda t: (self.node - t) % n)
+        fs = self.net.fault_state if self.net is not None else None
         for chain in (cw_side, ccw_side):
             if not chain:
+                continue
+            if fs is not None and fs.src_cannot_reach(self.node, chain[0]):
+                fs.source_drop_branch(op)
                 continue
             pkt = Packet(self.node, chain[0], size, RELAY, created=now,
                          op=op)
@@ -141,9 +152,13 @@ class SpidergonAdapter(Adapter):
                 self.collector.on_collective_complete(op, now)
 
         n = self.router.n
+        fs = self.net.fault_state if self.net is not None else None
         if "chain" in pkt.meta:                # multicast target chain
             chain = pkt.meta["chain"]
             if not chain:
+                return
+            if fs is not None and fs.src_cannot_reach(self.node, chain[0]):
+                fs.source_drop_branch(op)
                 return
             new = Packet(self.node, chain[0], pkt.size, RELAY,
                          created=now, op=op)
@@ -155,6 +170,11 @@ class SpidergonAdapter(Adapter):
         if remaining <= 0:
             return
         step = pkt.meta["dir"]
+        if fs is not None and fs.src_cannot_reach(
+                self.node, (self.node + step) % n):
+            # the relay chain cannot continue past this node
+            fs.source_drop_branch(op)
+            return
         new = Packet(self.node, (self.node + step) % n, pkt.size, RELAY,
                      created=now, op=op)
         new.meta["dir"] = step

@@ -164,7 +164,7 @@ def compare_networks(n: int, msg_len: int, beta: float,
                      verbose: bool = False, backend: str = "reference",
                      workers: int = 1, pattern: str = "uniform",
                      arrival: str = "bernoulli", workload: str = "",
-                     replicates: int = 1, obs=None,
+                     faults: str = "", replicates: int = 1, obs=None,
                      progress: Optional[Callable[[int, int], None]] = None
                      ) -> Dict[str, List[SweepSummary]]:
     """The paper's core comparison at one (N, M, beta) configuration.
@@ -176,7 +176,10 @@ def compare_networks(n: int, msg_len: int, beta: float,
     ``arrival`` select the workload scenario (spec strings, see
     :mod:`repro.workloads.registry`); a non-empty ``workload`` selects a
     multi-class mix instead, with ``rates`` acting as multipliers on the
-    class rates.
+    class rates.  A non-empty ``faults`` plan (see :mod:`repro.faults`)
+    injects the same fault schedule into every cell, so the sweep
+    measures saturation shift *under* degradation; each summary then
+    carries its drop accounting in ``extra["faults"]``.
     """
     if rates is None:
         rates = (default_rates(n, msg_len, beta) if not workload
@@ -186,7 +189,7 @@ def compare_networks(n: int, msg_len: int, beta: float,
         spec = WorkloadSpec(kind=kind, n=n, msg_len=msg_len, beta=beta,
                             rate=0.0, cycles=cycles, warmup=warmup,
                             seed=seed, pattern=pattern, arrival=arrival,
-                            workload=workload)
+                            workload=workload, faults=faults)
         if verbose:  # pragma: no cover
             print(f"[{kind}] N={n} M={msg_len} beta={beta:g}")
         kwargs = {"obs": obs} if obs is not None else {}

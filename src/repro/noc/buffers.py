@@ -48,7 +48,8 @@ class FlitBuffer:
     """
 
     __slots__ = ("q", "capacity", "label", "router", "role",
-                 "cur_out", "cur_vc", "cur_deliver", "fed", "sink")
+                 "cur_out", "cur_vc", "cur_deliver", "cur_pkt", "fed",
+                 "sink")
 
     def __init__(self, capacity: int, label: str = "",
                  router: Optional["Router"] = None, role: int = -1):
@@ -70,6 +71,11 @@ class FlitBuffer:
         self.cur_out: Optional["OutPort"] = None
         self.cur_vc = 0
         self.cur_deliver = False
+        #: The packet the switching-table entry belongs to.  Needed by
+        #: the fault purge to find wormholes latched *through* a buffer
+        #: whose flits are all momentarily elsewhere (``cur_out`` alone
+        #: cannot name the packet once the queue is empty).
+        self.cur_pkt: Optional["Packet"] = None
         #: Array-resident state redirect.  ``None`` on the reference path
         #: (one attribute test per push); when an
         #: :class:`~repro.sim.array_backend.ArrayBackend` owns the
@@ -131,6 +137,14 @@ class FlitBuffer:
         engine owns the state, the whole packet is staged as a single
         entry, so injection cost does not scale with message length on
         the Python side."""
+        r = self.router
+        if r is not None and r.net is not None:
+            fs = r.net.fault_state
+            if fs is not None:
+                # sole entry point for flits entering the network
+                # (adapters and relay regeneration both land here), so
+                # this one counter anchors the conservation invariant
+                fs.injected_flits += packet.size
         if self.sink is not None:
             self.sink.append((self, packet, -1))
             return
@@ -155,6 +169,7 @@ class FlitBuffer:
         self.cur_out = None
         self.cur_vc = 0
         self.cur_deliver = False
+        self.cur_pkt = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<FlitBuffer {self.label!r} {len(self.q)}/{self.capacity}"

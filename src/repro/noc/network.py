@@ -82,6 +82,11 @@ class Network:
         #: whose flit count transitions 0 -> 1, so the backend only ever
         #: visits routers that can possibly move a flit.
         self.wake_set: Optional[Set[Router]] = None
+        #: Fault seam: the installed :class:`repro.faults.FaultState`,
+        #: or ``None``.  When set, :meth:`deliver` splits tails into
+        #: delivered vs dropped, and routing dispatches through the
+        #: fault-aware policy (see :meth:`repro.noc.router.Router.route`).
+        self.fault_state = None
         #: State-ownership inversion hook.  ``None`` means the object
         #: graph (buffer deques, port tables) is the simulation state and
         #: :meth:`step` walks it.  When an array engine adopts the
@@ -157,6 +162,13 @@ class Network:
         burn cycles.
         """
         if fidx == pkt.size - 1:
+            fs = self.fault_state
+            if fs is not None and pkt.pid in fs.doomed:
+                # a dropped packet's tail drained into the sink: count
+                # it dropped, never delivered (no adapter/collector
+                # accounting, no on_tail callback)
+                fs.on_tail_dropped(pkt, node, now)
+                return
             self.deliveries += 1
             self.adapters[node].receive_tail(pkt, now)
             cb = self.on_tail

@@ -121,7 +121,7 @@ class CollectiveOp:
     """
 
     __slots__ = ("src", "created", "expected", "deliveries", "completed_at",
-                 "kind", "cls")
+                 "kind", "cls", "dropped")
 
     def __init__(self, src: int, created: int, expected: int,
                  kind: int = BROADCAST):
@@ -135,6 +135,9 @@ class CollectiveOp:
         self.kind = kind
         #: workload traffic-class name (multi-class accounting), or None
         self.cls: Optional[str] = None
+        #: at least one branch of this operation was dropped by a fault
+        #: (the op can then never complete; counted once per op)
+        self.dropped = False
 
     def deliver(self, node: int, now: int) -> bool:
         """Record tail-flit arrival at ``node``.  Returns True on the

@@ -49,7 +49,7 @@ class OutPort:
 
     __slots__ = ("name", "router", "feeders", "down", "owner", "rr",
                  "is_dateline", "vcs", "vc_policy", "flits_sent",
-                 "live_feeders")
+                 "live_feeders", "dead")
 
     def __init__(self, name: str, router: "Router", vcs: int = 2,
                  is_dateline: bool = False, vc_policy: str = "dateline"):
@@ -69,6 +69,12 @@ class OutPort:
         #: ports, which take part in no cyclic channel dependency).
         self.vc_policy = vc_policy
         self.flits_sent = 0
+        #: Fault seam: a dead port never grants a move (dead link, or
+        #: any port of a dead router).  Set only by
+        #: :class:`repro.faults.FaultState`; array engines mirror it by
+        #: pointing the port's credit rows at their always-full anchor
+        #: column, so the same flits stall in every backend.
+        self.dead = False
         #: Number of currently non-empty feeder buffers.  Maintained by
         #: :class:`~repro.noc.buffers.FlitBuffer` on empty<->nonempty
         #: transitions; when zero, :meth:`arbitrate` provably returns
@@ -112,10 +118,12 @@ class OutPort:
         ports across the network arbitrate against a consistent
         start-of-cycle snapshot.
         """
+        if self.dead:
+            return None
         feeders = self.feeders
         n = len(feeders)
         rr = self.rr
-        route_head = self.router.route_head
+        route_head = self.router.route
         for k in range(n):
             i = rr + k
             if i >= n:

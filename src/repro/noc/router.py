@@ -57,7 +57,8 @@ class Router:
         injection queues; the network skips routers with ``flits == 0``.
     """
 
-    __slots__ = ("node", "n", "in_bufs", "out_ports", "flits", "net")
+    __slots__ = ("node", "n", "in_bufs", "out_ports", "flits", "net",
+                 "fstate")
 
     def __init__(self, node: int, n: int):
         self.node = node
@@ -66,6 +67,11 @@ class Router:
         self.out_ports: List[OutPort] = []
         self.flits = 0
         self.net: Optional["Network"] = None
+        #: Fault seam: the :class:`repro.faults.FaultState` installed on
+        #: this network, or ``None`` (the overwhelmingly common case).
+        #: :meth:`route` dispatches through it so every backend sees the
+        #: same fault-aware routing decisions.
+        self.fstate = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -98,6 +104,18 @@ class Router:
         blocked head flit per cycle).
         """
         raise NotImplementedError
+
+    def route(self, buf: FlitBuffer,
+              pkt: "Packet") -> Tuple[OutPort, bool]:
+        """Routing dispatcher: :meth:`route_head` on the fault-free
+        path, the installed :class:`~repro.faults.FaultState` otherwise
+        (which wraps :meth:`route_head` with reroute/drop policy).
+        Backends must route headers through this, never through
+        :meth:`route_head` directly."""
+        fs = self.fstate
+        if fs is None:
+            return self.route_head(buf, pkt)
+        return fs.route(self, buf, pkt)
 
     def route_table(self, buf: FlitBuffer):
         """Destination-indexed routing rows for array engines, or ``None``.
@@ -172,6 +190,7 @@ def commit_move(move: Move, now: int, net: "Network") -> None:
         buf.cur_out = port
         buf.cur_vc = vc
         buf.cur_deliver = deliver
+        buf.cur_pkt = pkt
     if tail:
         if port.owner[vc] is buf:
             port.owner[vc] = None
@@ -186,6 +205,10 @@ def commit_move(move: Move, now: int, net: "Network") -> None:
 
     down = port.down[vc]
     if down is None:
+        # getattr: unit tests drive commit_move with minimal net stubs
+        fs = getattr(net, "fault_state", None)
+        if fs is not None:
+            fs.ejected_flits += 1
         net.deliver(node, pkt, fidx, now)
     else:
         if port.is_dateline:

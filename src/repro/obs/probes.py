@@ -120,6 +120,10 @@ class ObjectSampler:
         pushes land in the deques immediately)."""
 
     def occupancy(self) -> List[int]:
+        fs = self.net.fault_state
+        if fs is not None and fs.dead_nodes:
+            return [-1 if r.node in fs.dead_nodes else r.occupancy()
+                    for r in self.net.routers]
         return [r.occupancy() for r in self.net.routers]
 
     def flits_sent(self) -> List[int]:
@@ -128,24 +132,33 @@ class ObjectSampler:
     def inflight(self) -> int:
         return self.net.total_flits()
 
-    def counters(self) -> Tuple[int, int, int]:
+    def counters(self) -> Tuple[int, int, int, int]:
         net = self.net
-        return (self.mix.generated_total, net.deliveries, net.flits_moved)
+        fs = net.fault_state
+        return (self.mix.generated_total, net.deliveries, net.flits_moved,
+                fs.dropped_msgs if fs is not None else 0)
 
     def stalls(self) -> Dict[str, int]:
-        latched = blocked = routing = 0
+        latched = blocked = routing = dead_lanes = 0
         for buf in self._bufs:
             port = buf.cur_out
             if port is not None:
                 latched += 1
+                if port.dead:
+                    dead_lanes += 1
                 if buf.q:
+                    # a dead output never drains: same census as the
+                    # array engine's always-full anchor row
                     down = port.down[buf.cur_vc]
-                    if down is not None and down.full:
+                    if port.dead or (down is not None and down.full):
                         blocked += 1
             elif buf.q:
                 routing += 1
-        return {"latched": latched, "blocked": blocked,
-                "routing": routing}
+        out = {"latched": latched, "blocked": blocked,
+               "routing": routing}
+        if self.net.fault_state is not None:
+            out["dead_lanes"] = dead_lanes
+        return out
 
 
 class ArraySampler:
@@ -180,7 +193,12 @@ class ArraySampler:
     def occupancy(self) -> List[int]:
         be = self.backend
         occ = self._np.add.reduceat(be._qlen[:be._B], self._roff)
-        return [int(v) for v in occ]
+        out = [int(v) for v in occ]
+        fs = self.net.fault_state
+        if fs is not None:
+            for node in fs.dead_nodes:
+                out[node] = -1
+        return out
 
     def flits_sent(self) -> List[int]:
         return [int(v) for v in self.backend._fs]
@@ -188,21 +206,36 @@ class ArraySampler:
     def inflight(self) -> int:
         return int(self.backend._inflight)
 
-    def counters(self) -> Tuple[int, int, int]:
+    def counters(self) -> Tuple[int, int, int, int]:
         net = self.net
-        return (self.mix.generated_total, net.deliveries, net.flits_moved)
+        fs = net.fault_state
+        return (self.mix.generated_total, net.deliveries, net.flits_moved,
+                fs.dropped_msgs if fs is not None else 0)
 
     def stalls(self) -> Dict[str, int]:
         be = self.backend
+        np = self._np
         B = be._B
         ne = be._ne[:B]
         hdrf = be._hdrf[:B]
         latched = (be._want[:B] >= 0) & ~hdrf
+        # dead ports' credit rows point at the always-full anchor, so
+        # their latched lanes fall out of this test without a mask
         blocked = latched & ne & be._fullb[be._down[be._pvb[:B]]]
         routing = ne & hdrf
-        return {"latched": int(latched.sum()),
-                "blocked": int(blocked.sum()),
-                "routing": int(routing.sum())}
+        out = {"latched": int(latched.sum()),
+               "blocked": int(blocked.sum()),
+               "routing": int(routing.sum())}
+        fs = self.net.fault_state
+        if fs is not None:
+            dead = [be._pid[p] for p in fs.dead_ports if p in be._pid]
+            if dead:
+                mask = latched & np.isin(
+                    be._want[:B], np.array(dead, np.int64))
+                out["dead_lanes"] = int(mask.sum())
+            else:
+                out["dead_lanes"] = 0
+        return out
 
 
 def make_sampler(backend: "SimBackend", mix: "TrafficMix"):
@@ -230,7 +263,7 @@ class ProbeSet:
         self._last_cycle = [None] * len(self.specs)  # type: ignore
         self._last_links: List[Optional[List[int]]] = \
             [None] * len(self.specs)
-        self._last_counts: List[Optional[Tuple[int, int, int]]] = \
+        self._last_counts: List[Optional[Tuple[int, int, int, int]]] = \
             [None] * len(self.specs)
 
     # ------------------------------------------------------------------
@@ -288,12 +321,20 @@ class ProbeSet:
                 data = (cur if base is None
                         else [c - b for c, b in zip(cur, base)])
                 self._last_links[i] = cur
+                fs = sampler.net.fault_state
+                if fs is not None and fs.dead_ports:
+                    # a dead link reports -1, not a zero that reads as
+                    # "idle but healthy"
+                    data = [-1 if p.dead else d for p, d in
+                            zip(sampler.net.iter_ports(), data)]
             elif name == "rates":
                 cur3 = sampler.counters()
-                base3 = self._last_counts[i] or (0, 0, 0)
+                base3 = self._last_counts[i] or (0, 0, 0, 0)
                 data = {"generated": cur3[0] - base3[0],
                         "delivered": cur3[1] - base3[1],
                         "flits": cur3[2] - base3[2]}
+                if sampler.net.fault_state is not None:
+                    data["dropped"] = cur3[3] - base3[3]
                 self._last_counts[i] = cur3
             elif name == "inflight":
                 data = sampler.inflight()

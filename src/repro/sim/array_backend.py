@@ -579,8 +579,14 @@ class ArrayBackend(SimBackend):
         cached request tuple ``(port, jof, vc, deliver, pvb2)``."""
         aid = int(self._front[b]) >> FSHIFT
         tab = self._rtab[b]
-        if tab is not None and (self._rtab_all[b]
-                                or self._ptraf[aid] == UNICAST):
+        # route tables are probed fault-free at build time, so any
+        # installed fault state disables the lookup: every header then
+        # routes through the Router.route dispatcher below, which is
+        # what applies the reroute/drop policy identically to the
+        # reference backend
+        if (tab is not None and self.net.fault_state is None
+                and (self._rtab_all[b]
+                     or self._ptraf[aid] == UNICAST)):
             ent = tab[self._pdst[aid]]
             p = (ent >> 4) & 0xFFFFF
             if ent & 2:
@@ -593,7 +599,7 @@ class ArrayBackend(SimBackend):
             return (p, ent >> 24, vc, ent & 1, self._pv2_of[p])
         pkt = self._pkts[aid]
         buf = self._bufs[b]
-        port, deliver = buf.router.route_head(buf, pkt)
+        port, deliver = buf.router.route(buf, pkt)
         p = self._pid[port]
         if self._pol_any[p]:
             vc = 0
@@ -603,7 +609,10 @@ class ArrayBackend(SimBackend):
                 pkt.vclass if pkt.vclass < 2 else 1)
             pv2 = self._PV
         self._hdr_of[aid] = b
-        return (p, self._jpos[b][p], vc, 1 if deliver else 0, pv2)
+        # .get: a fault-stuck head may want a port this lane is not
+        # wired to (it then never matches that port's feeder scan, which
+        # is exactly the reference backend's never-granted behaviour)
+        return (p, self._jpos[b].get(p, 0), vc, 1 if deliver else 0, pv2)
 
     def _refresh_one(self, b: int) -> None:
         p, j, vc, dl, pv2 = self._route_front(b)
@@ -655,6 +664,12 @@ class ArrayBackend(SimBackend):
     # ------------------------------------------------------------------
     def _deliver(self, node: int, aid: int, now: int) -> None:
         net = self.net
+        fs = net.fault_state
+        if fs is not None:
+            pkt = self._pkts[aid]
+            if pkt.pid in fs.doomed:
+                fs.on_tail_dropped(pkt, node, now)
+                return
         net.deliveries += 1
         if self._ptraf[aid] == UNICAST and self._uni_short:
             self._acoll[node].on_unicast_cols(
@@ -776,6 +791,9 @@ class ArrayBackend(SimBackend):
         nej = int(eje.sum())
         if nej:
             self._inflight -= nej
+            fs2 = self.net.fault_state
+            if fs2 is not None:
+                fs2.ejected_flits += nej
 
         # -- residue 1: dateline VC-class upgrades ----------------------
         refresh: List[int] = []
@@ -917,6 +935,9 @@ class ArrayBackend(SimBackend):
             if tail:
                 self._deliver(node, aid, now)
             self._inflight -= 1
+            fs = self.net.fault_state
+            if fs is not None:
+                fs.ejected_flits += 1
         else:
             if self._isdl_py[p]:
                 self._pkts[aid].vclass = 1
@@ -947,6 +968,9 @@ class ArrayBackend(SimBackend):
         ndl, ndel, nrf, nej = int(c[1]), int(c[2]), int(c[3]), int(c[4])
         if nej:
             self._inflight -= nej
+            fs = self.net.fault_state
+            if fs is not None:
+                fs.ejected_flits += nej
         if self._sideset:
             hits = self._sideset.intersection(
                 self._ck_outw[:moved].tolist())
@@ -1064,10 +1088,35 @@ class ArrayBackend(SimBackend):
                 buf.cur_out = self._ports[w]
                 buf.cur_vc = int(self._vcreq[b])
                 buf.cur_deliver = bool(self._dlv[b])
+                buf.cur_pkt = q[0][0] if q else None
             else:
                 buf.cur_out = None
                 buf.cur_vc = 0
                 buf.cur_deliver = False
+                buf.cur_pkt = None
+        # A latched-but-momentarily-empty buffer cannot name its packet
+        # from its own queue; the worm's remaining flits sit upstream.
+        # Each such buffer is fed by exactly one streaming predecessor
+        # (its latch would have been cleared before another packet could
+        # latch through), so propagating ``cur_pkt`` down the latched
+        # chains resolves them all -- every chain is anchored upstream
+        # by the buffer still holding the tail flit.
+        unresolved = [buf for buf in self._bufs
+                      if buf.cur_out is not None and buf.cur_pkt is None]
+        while unresolved:
+            progress = False
+            for buf in self._bufs:
+                pkt = buf.cur_pkt
+                if pkt is None or buf.cur_out is None:
+                    continue
+                d = buf.cur_out.down[buf.cur_vc]
+                if (d is not None and d.cur_out is not None
+                        and d.cur_pkt is None):
+                    d.cur_pkt = pkt
+                    progress = True
+            if not progress:
+                break
+            unresolved = [b for b in unresolved if b.cur_pkt is None]
         for r in self.net.routers:
             r.flits = sum(len(bb.q) for bb in r.in_bufs)
         owner = self._owner
@@ -1098,19 +1147,51 @@ class ArrayBackend(SimBackend):
         staged = self._staged
         if staged:
             # injections staged after the materialise belong in the
-            # object graph too before it is re-packed
-            pending = list(staged)
-            staged.clear()
-            for buf, pkt, fidx in pending:
-                sink, buf.sink = buf.sink, None
-                try:
-                    if fidx < 0:
-                        buf.push_packet(pkt)
-                    else:
-                        buf.push(pkt, fidx)
-                finally:
-                    buf.sink = sink
+            # object graph too before it is re-packed; mask the fault
+            # state while replaying -- these flits were already counted
+            # as injected when the adapter staged them
+            net = self.net
+            fs, net.fault_state = net.fault_state, None
+            try:
+                pending = list(staged)
+                staged.clear()
+                for buf, pkt, fidx in pending:
+                    sink, buf.sink = buf.sink, None
+                    try:
+                        if fidx < 0:
+                            buf.push_packet(pkt)
+                        else:
+                            buf.push(pkt, fidx)
+                    finally:
+                        buf.sink = sink
+            finally:
+                net.fault_state = fs
         self._adopt()
+
+    # ------------------------------------------------------------------
+    # fault events (repro.faults)
+    # ------------------------------------------------------------------
+    def apply_faults(self, fs, events) -> None:
+        """Apply fault events to array-resident state: land the kill +
+        purge on the materialised object graph, mirror every dead port
+        into the credit rows (both VC slots point at the always-full
+        anchor column, so no compute path -- scalar, vector or the C
+        kernel -- can ever grant it a move), then re-adopt.  Re-adoption
+        also re-routes every cached header through the fault-aware
+        dispatcher, matching the reference backend's per-cycle
+        re-evaluation."""
+        if self._fallback:
+            fs.apply(self.net, events)
+            return
+        self.materialize()
+        fs.apply(self.net, events)
+        down = self._down
+        for port in fs.dead_ports:
+            pi = self._pid.get(port)
+            if pi is not None:
+                down[2 * pi] = self._XB
+                down[2 * pi + 1] = self._XB
+        self.resync()
 
     # ------------------------------------------------------------------
     # payload columns (trace taps / analysis)

@@ -183,6 +183,19 @@ class SimBackend:
                 t += 1
                 pi += 1
 
+    def apply_faults(self, fs, events: List[dict]) -> None:
+        """Apply due fault events (:mod:`repro.faults`) to the network.
+
+        The base implementation hands the object graph straight to
+        :meth:`~repro.faults.FaultState.apply`; backends whose state
+        lives elsewhere (the array engine) override this to wrap the
+        application in a materialize/resync pair and mirror the dead
+        ports into their own structures.  The active-set backend needs
+        no override: the purge only ever removes flits, and stale
+        active-list entries are pruned by the next step.
+        """
+        fs.apply(self.net, events)
+
     def drain(self, max_cycles: int = 1_000_000) -> int:
         """Run without new traffic until the network empties; returns
         cycles taken (same liveness contract as ``Network.drain``)."""

@@ -109,4 +109,11 @@ class RunSummary:
             # present when the run sampled an ``inflight`` probe, so
             # probe-less tables keep their exact column set
             row["sat_onset"] = self.extra["sat_onset"]
+        if "faults" in self.extra:
+            # delivered-vs-dropped split of a faulted run; fault-free
+            # tables keep their exact column set
+            fx = self.extra["faults"]
+            row["dropped"] = fx.get("dropped_msgs", 0)
+            row["dead_links"] = fx.get("dead_links", 0)
+            row["dead_routers"] = len(fx.get("dead_routers", ()))
         return row

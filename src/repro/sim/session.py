@@ -132,6 +132,23 @@ class SimulationSession:
                 pattern=resolve_pattern(spec.pattern, spec.n),
                 arrival=resolve_arrival(spec.arrival))
         self._backlog_mid = 0
+        # fault model (opt-in; spec.faults empty leaves the network's
+        # fault seam at None, i.e. zero overhead and untouched routing)
+        self._fs = None
+        self._fault_cycles: Dict[int, list] = {}
+        if spec.faults:
+            from repro.faults import FaultPlan, FaultState
+            plan = FaultPlan.parse(spec.faults)
+            self._fs = FaultState(plan, self.net, spec.seed)
+            self._fs.install(self.net)
+            due0 = []
+            for t, evs in self._fs.events_by_cycle().items():
+                if t <= 0:
+                    due0.extend(evs)
+                else:
+                    self._fault_cycles[t] = evs
+            if due0:
+                self.backend.apply_faults(self._fs, due0)
         # observability (all opt-in; config.obs None leaves every hot
         # path untouched)
         self.probe_set = None
@@ -147,7 +164,17 @@ class SimulationSession:
         """Run the configured horizon and return the summary."""
         spec = self.config.spec
         mid = spec.warmup + (spec.cycles - spec.warmup) // 2
-        probes: Dict[int, Callable[[int], None]] = {mid: self._probe_backlog}
+        # fault events for cycle T land as a probe after step(T-1) --
+        # i.e. before generate(T) -- so a fault scheduled at T shapes
+        # cycle T's traffic in every backend identically.  They seed the
+        # probe dict so on a shared cycle the fault applies before any
+        # observer reads the network.
+        probes: Dict[int, Callable[[int], None]] = {}
+        for t, evs in self._fault_cycles.items():
+            if t - 1 < spec.cycles:
+                probes[t - 1] = (lambda now, _evs=evs:
+                                 self.backend.apply_faults(self._fs, _evs))
+        _merge_probes(probes, {mid: self._probe_backlog})
         obs = self.config.obs
         if obs:
             self._install_obs(probes, spec.cycles)
@@ -263,6 +290,8 @@ class SimulationSession:
         # fixtures and pre-obs summaries keep their exact shape) and
         # deterministic across backends (probe streams and histograms
         # are integer-identical by construction)
+        if self._fs is not None:
+            summary.extra["faults"] = self._fs.extra_block()
         if self.collector.hist is not None:
             summary.extra["latency_hist"] = self.collector.hist.to_dict()
         if self.probe_set is not None:

@@ -315,6 +315,17 @@ class TrafficMix:
         class_index)`` pair (multi-class).  Exposed so block-based
         drivers (the fast-forwarding backends) can replay precomputed
         arrivals with identical RNG consumption."""
+        fs = self.net.fault_state
+        if fs is not None and fs.dead_nodes:
+            node = token[0] if type(token) is tuple else token
+            if node in fs.dead_nodes:
+                # a dead node's PE generates nothing (suppressed, not
+                # dropped); a replayed event must still be consumed or
+                # generate()'s same-cycle scan would never advance
+                fs.suppressed_msgs += 1
+                if self._replay is not None:
+                    self._replay_pos[node] += 1
+                return
         if self._replay is not None:
             self._inject_replay(token, now)
             return
@@ -329,6 +340,12 @@ class TrafficMix:
             self.generated_broadcasts += 1
         else:
             dst = self.pattern.pick(node, self._dst_rng[node])
+            if fs is not None and fs.src_cannot_reach(node, dst):
+                # the dst draw is consumed either way, so the fault-free
+                # prefix of the stream is byte-identical with and
+                # without the drop
+                fs.source_drop_unicast()
+                return
             if self.on_inject is not None:
                 self.on_inject(node, now, None, dst, self.msg_len, False)
             pkt = Packet(node, dst, self.msg_len, UNICAST, created=now)
@@ -347,6 +364,10 @@ class TrafficMix:
         else:
             dst = self._cls_patterns[k].pick(node,
                                              self._cls_dst_rng[node][k])
+            fs = self.net.fault_state
+            if fs is not None and fs.src_cannot_reach(node, dst):
+                fs.source_drop_unicast()
+                return
             if self.on_inject is not None:
                 self.on_inject(node, now, name, dst, cls.msg_len, False)
             pkt = Packet(node, dst, cls.msg_len, UNICAST, created=now)
@@ -360,6 +381,11 @@ class TrafficMix:
         i = self._replay_pos[node]
         _, dst, size, name, bcast = self._replay[node][i]
         self._replay_pos[node] = i + 1
+        if not bcast:
+            fs = self.net.fault_state
+            if fs is not None and fs.src_cannot_reach(node, dst):
+                fs.source_drop_unicast()
+                return
         if self.on_inject is not None:
             self.on_inject(node, now, name, dst, size, bcast)
         if bcast:

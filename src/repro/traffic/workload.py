@@ -48,6 +48,7 @@ class WorkloadSpec:
     pattern: str = "uniform"      # spatial scenario spec string
     arrival: str = "bernoulli"    # temporal scenario spec string
     workload: str = ""            # multi-class workload spec (optional)
+    faults: str = ""              # fault plan spec string (optional)
 
     def __post_init__(self) -> None:
         if self.cycles <= self.warmup:
@@ -65,6 +66,11 @@ class WorkloadSpec:
         check_spec(self.arrival, ARRIVAL)
         if self.workload:
             check_workload(self.workload)
+        if self.faults:
+            # syntax-only validation; node/link existence is checked
+            # when the plan is resolved against the concrete network
+            from repro.faults import FaultPlan
+            FaultPlan.parse(self.faults)
 
     def with_rate(self, rate: float) -> "WorkloadSpec":
         return replace(self, rate=rate)
@@ -97,16 +103,21 @@ class WorkloadSpec:
         out = asdict(self)
         if not self.workload:
             del out["workload"]
+        if not self.faults:
+            del out["faults"]
         return out
 
     def label(self) -> str:
         if self.workload:
-            return (f"{self.kind} N={self.n} x{self.rate:g} "
+            base = (f"{self.kind} N={self.n} x{self.rate:g} "
                     f"wl={self.workload}")
-        base = (f"{self.kind} N={self.n} M={self.msg_len} "
-                f"beta={self.beta:g} rate={self.rate:g}")
-        if self.pattern != "uniform":
-            base += f" pat={self.pattern}"
-        if self.arrival != "bernoulli":
-            base += f" arr={self.arrival}"
+        else:
+            base = (f"{self.kind} N={self.n} M={self.msg_len} "
+                    f"beta={self.beta:g} rate={self.rate:g}")
+            if self.pattern != "uniform":
+                base += f" pat={self.pattern}"
+            if self.arrival != "bernoulli":
+                base += f" arr={self.arrival}"
+        if self.faults:
+            base += f" faults={self.faults}"
         return base

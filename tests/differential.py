@@ -52,12 +52,13 @@ def make_config(kind: str = "quarc", n: int = 8, msg_len: int = 4,
                 beta: float = 0.1, rate: float = 0.03, cycles: int = 900,
                 warmup: int = 200, seed: int = 1,
                 pattern: str = "uniform", arrival: str = "bernoulli",
-                workload: str = "", **cfg) -> RunConfig:
+                workload: str = "", faults: str = "",
+                **cfg) -> RunConfig:
     """A :class:`RunConfig` with fuzz-friendly defaults."""
     spec = WorkloadSpec(kind=kind, n=n, msg_len=msg_len, beta=beta,
                         rate=rate, cycles=cycles, warmup=warmup, seed=seed,
                         pattern=pattern, arrival=arrival,
-                        workload=workload)
+                        workload=workload, faults=faults)
     return RunConfig(spec=spec, **cfg)
 
 
@@ -83,10 +84,13 @@ class Divergence:
     backend_b: str
     cycle: int                     # the cycle whose step diverged
     diffs: List[str] = field(default_factory=list)  # human-readable lines
+    faults: str = ""               # the config's fault plan, if any
 
     def report(self, limit: int = 40) -> str:
         head = (f"backends {self.backend_a!r} vs {self.backend_b!r} "
                 f"diverge after stepping cycle {self.cycle}")
+        if self.faults:
+            head += f" [faults: {self.faults}]"
         body = self.diffs[:limit]
         if len(self.diffs) > limit:
             body.append(f"... {len(self.diffs) - limit} more differing keys")
@@ -134,11 +138,17 @@ def find_divergence(config: RunConfig, backend_a: str, backend_b: str,
             snaps = [s.net.state_snapshot() for s in sessions]
             diffs = _diff_state(snaps[0], snaps[1])
             if diffs:
-                return Divergence(backend_a, backend_b, t, diffs)
+                return Divergence(backend_a, backend_b, t, diffs,
+                                  faults=config.spec.faults)
             return None
 
         for t in range(horizon):
             for s in sessions:
+                # mirror SimulationSession.run(): fault events for
+                # cycle t land after step(t-1), before generate(t)
+                events = s._fault_cycles.get(t)
+                if events is not None:
+                    s.backend.apply_faults(s._fs, events)
                 s.mix.generate(t)
                 if inject is not None:
                     inject(s, t)
@@ -178,6 +188,10 @@ _FUZZ_ARRIVALS = ("bernoulli", "bursty:on=0.25,len=6",
 #: fraction of fuzz cases that run a randomized multi-class workload
 #: (``classes:`` spec) instead of the single-class axes
 _FUZZ_MULTICLASS_P = 0.25
+#: fraction of fuzz cases that carry a randomized fault plan (links /
+#: routers dying mid-run), exercising reroute, purge and drop
+#: accounting on every backend
+_FUZZ_FAULT_P = 0.25
 
 
 def _random_classes_spec(rng: random.Random, n: int) -> str:
@@ -200,6 +214,27 @@ def _random_classes_spec(rng: random.Random, n: int) -> str:
     return "classes:" + ";".join(chunks)
 
 
+def _random_fault_plan(frng: random.Random, n: int, cycles: int) -> str:
+    """A randomized 1-2 clause fault plan landing inside the horizon."""
+    clauses = []
+    for _ in range(frng.choice((1, 1, 2))):
+        cycle = frng.randrange(0, max(cycles - 100, 1))
+        # only the topology-agnostic kinds: an explicit `link:` clause
+        # needs an edge that exists, which depends on the drawn kind
+        # (explicit-link plans are covered by the golden fixtures)
+        kind = frng.choice(("links", "links", "router", "routers"))
+        if kind == "links":
+            clauses.append(f"links:down={frng.randrange(1, 4)}"
+                           f"@cycle={cycle}")
+        elif kind == "routers":
+            clauses.append(f"routers:down={frng.randrange(1, 3)}"
+                           f"@cycle={cycle}")
+        else:
+            clauses.append(f"router:node={frng.randrange(n)}"
+                           f"@cycle={cycle}")
+    return ";".join(clauses)
+
+
 def random_configs(seed: int, count: int,
                    cycles: int = 700, warmup: int = 150,
                    sizes: Sequence[int] = _FUZZ_SIZES,
@@ -213,6 +248,9 @@ def random_configs(seed: int, count: int,
     About a quarter of the cases run a randomized **multi-class**
     workload instead (mixed casts / sizes / arrivals per class), so the
     per-class accounting and varying message lengths hit every backend.
+    Independently, about a quarter carry a randomized **fault plan**
+    (links / routers dying mid-run); the fault draw uses a per-case rng
+    so the fault-free corpus is byte-identical to the historical one.
     """
     rng = random.Random(seed)
     for i in range(count):
@@ -224,6 +262,9 @@ def random_configs(seed: int, count: int,
             cfg_extra = dict(bcast_mode="relay", clone_disabled=True)
         else:
             cfg_extra = {}
+        frng = random.Random(f"faults:{seed}:{i}")
+        faults = (_random_fault_plan(frng, n, cycles)
+                  if frng.random() < _FUZZ_FAULT_P else "")
         if rng.random() < _FUZZ_MULTICLASS_P:
             yield i, make_config(
                 kind=kind, n=n, msg_len=4, beta=0.0,
@@ -231,7 +272,7 @@ def random_configs(seed: int, count: int,
                 cycles=cycles, warmup=warmup,
                 seed=rng.randrange(1, 10_000),
                 workload=_random_classes_spec(rng, n),
-                **cfg_extra)
+                faults=faults, **cfg_extra)
             continue
         pattern = rng.choice(_FUZZ_PATTERNS)
         if n & (n - 1) and pattern in _POW2_ONLY_PATTERNS:
@@ -245,7 +286,7 @@ def random_configs(seed: int, count: int,
             seed=rng.randrange(1, 10_000),
             pattern=pattern,
             arrival=rng.choice(_FUZZ_ARRIVALS),
-            **cfg_extra)
+            faults=faults, **cfg_extra)
 
 
 # ----------------------------------------------------------------------

@@ -2,7 +2,11 @@
 
 Usage (from the repo root)::
 
-    PYTHONPATH=src python tests/golden_regen.py
+    PYTHONPATH=src python tests/golden_regen.py [--only NAME]
+
+``--only`` (repeatable) regenerates just the named fixtures -- the
+routine case when one deliberate semantic change moves one fixture and
+the rest must provably stay untouched.
 
 The fixtures pin the **seed semantics**: each JSON file is the full
 ``RunSummary`` of one small, fast, deterministic configuration run
@@ -69,6 +73,21 @@ GOLDEN_CONFIGS: List[Tuple[str, WorkloadSpec, Dict]] = [
      WorkloadSpec(kind="spidergon", n=16, msg_len=8, beta=0.0, rate=1.0,
                   cycles=2500, warmup=500, seed=11,
                   workload="allreduce:chunk=6,rate=0.008"), {}),
+    # fault-injection fixtures: pin the degradation semantics (reroute
+    # choices, purge set, drop accounting in extra["faults"]) -- one
+    # explicit-link plan on the big ring, one router-death plan where
+    # purges and at-source suppression both fire
+    ("quarc64_link_faults",
+     WorkloadSpec(kind="quarc", n=64, msg_len=8, beta=0.05, rate=0.004,
+                  cycles=2000, warmup=400, seed=42,
+                  faults="link:src=0,dst=1@cycle=600;"
+                         "link:src=1,dst=0@cycle=600;"
+                         "links:down=2@cycle=1200"), {}),
+    ("torus16_router_faults",
+     WorkloadSpec(kind="torus", n=16, msg_len=8, beta=0.05, rate=0.02,
+                  cycles=2500, warmup=500, seed=42,
+                  faults="router:node=5@cycle=0;"
+                         "routers:down=1@cycle=1000"), {}),
 ]
 
 
@@ -90,9 +109,23 @@ def golden_row(name: str) -> Dict:
     raise KeyError(f"unknown golden config {name!r}")
 
 
-def main() -> int:
+def main(argv=None) -> int:
+    import argparse
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--only", action="append", default=None,
+                    metavar="NAME",
+                    help="regenerate only this fixture (repeatable)")
+    args = ap.parse_args(argv)
+    names = [name for name, _, _ in GOLDEN_CONFIGS]
+    if args.only:
+        unknown = sorted(set(args.only) - set(names))
+        if unknown:
+            print(f"error: unknown fixture(s) {unknown}; "
+                  f"known: {names}", file=sys.stderr)
+            return 2
+        names = [n for n in names if n in set(args.only)]
     os.makedirs(GOLDEN_DIR, exist_ok=True)
-    for name, _, _ in GOLDEN_CONFIGS:
+    for name in names:
         payload = golden_row(name)
         path = os.path.join(GOLDEN_DIR, f"{name}.json")
         with open(path, "w") as fh:
