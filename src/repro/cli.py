@@ -126,7 +126,8 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--cycles", type=int, default=8000)
         sp.add_argument("--warmup", type=int, default=2000)
 
-    def add_engine_args(sp, workers=True, replicates=False):
+    def add_engine_args(sp, workers=True, replicates=False,
+                        shard=False):
         sp.add_argument("--backend", choices=sorted(BACKENDS),
                         default="reference",
                         help="simulation engine, identical results: "
@@ -136,15 +137,29 @@ def build_parser() -> argparse.ArgumentParser:
         if workers:
             sp.add_argument("--workers", type=_positive_int, default=1,
                             help="parallel processes sharding the "
-                                 "(rate point x seed) cell grid "
-                                 "(default: serial; results identical "
-                                 "for any worker count)")
+                                 "(rate point x seed) cell grid -- one "
+                                 "whole run per process (default: "
+                                 "serial; results identical for any "
+                                 "worker count).  To split a single "
+                                 "run spatially, see --shard-workers")
         if replicates:
             sp.add_argument("--replicates", type=_positive_int,
                             default=1,
                             help="independent seeds per point, spawned "
                                  "from --seed; > 1 reports mean / "
                                  "stddev / 95%% CI per metric")
+        if shard:
+            sp.add_argument("--shard-workers", type=_positive_int,
+                            default=1,
+                            help="spatial domain decomposition: split "
+                                 "each single run across N processes, "
+                                 "one contiguous shard of the network "
+                                 "each, with shared-memory halo "
+                                 "exchange (requires --backend array; "
+                                 "summaries byte-identical to "
+                                 "--shard-workers 1).  Orthogonal to "
+                                 "--workers, which parallelises across "
+                                 "whole runs; the two compose")
 
     def add_obs_args(sp, metrics=True):
         sp.add_argument("--probe", action="append", default=None,
@@ -197,7 +212,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = sub.add_parser("sweep", help="latency/load sweep with ASCII plot")
     add_net_args(sp, kinds=False)
-    add_engine_args(sp, replicates=True)
+    add_engine_args(sp, replicates=True, shard=True)
     add_workload_args(sp)
     add_obs_args(sp, metrics=False)
     sp.add_argument("--points", type=int, default=5)
@@ -207,7 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
                        ("point", "one simulation point (alias of run)")):
         sp = sub.add_parser(cmd, help=help_)
         add_net_args(sp)
-        add_engine_args(sp, replicates=True)
+        add_engine_args(sp, replicates=True, shard=True)
         add_workload_args(sp)
         add_obs_args(sp)
         sp.add_argument("--rate", type=float, default=None,
@@ -339,6 +354,8 @@ def _render_point_obs(session, summary, args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    if _shard_usage_error(args):
+        return 2
     if args.workload:
         # multi-class sweeps scale every class rate together: the rate
         # axis is a multiplier around the scenario's native rates
@@ -364,7 +381,8 @@ def _cmd_sweep(args) -> int:
                                replicates=args.replicates,
                                pattern=args.pattern, arrival=args.arrival,
                                workload=args.workload, faults=args.faults,
-                               obs=obs, progress=progress_cb)
+                               obs=obs, progress=progress_cb,
+                               shard_workers=args.shard_workers)
     rows = latency_rows(results, label)
     if args.replicates > 1:
         columns = ["noc", "rate", "unicast_lat", "unicast_ci95",
@@ -415,9 +433,24 @@ def _print_class_table(summary) -> None:
         print(format_table(rows))
 
 
+def _shard_usage_error(args) -> bool:
+    """--shard-workers needs the array engine; fail with usage guidance
+    rather than a deep ValueError (or, worse, a silent fallback)."""
+    if args.shard_workers > 1 and args.backend != "array":
+        print(f"error: --shard-workers requires --backend array (got "
+              f"--backend {args.backend}); spatial sharding splits the "
+              f"flat array state, which other engines do not have.  "
+              f"Use --workers to parallelise across replicate runs "
+              f"instead", file=sys.stderr)
+        return True
+    return False
+
+
 def _cmd_point(args) -> int:
     rate = _resolve_rate(args)
     if rate is None:
+        return 2
+    if _shard_usage_error(args):
         return 2
     from repro.obs import obs_from_args
     obs = obs_from_args(args)
@@ -439,17 +472,20 @@ def _cmd_point(args) -> int:
                   file=sys.stderr)
             return 2
         return _run_replicated_point(spec, args)
-    if obs is None:
+    if obs is None and args.shard_workers == 1:
         s = run_point(spec, backend=args.backend)
         print(format_table([s.row()]))
         _print_class_table(s)
         return 0
     from repro.sim.session import RunConfig, SimulationSession
     session = SimulationSession(
-        RunConfig(spec=spec, backend=args.backend, obs=obs))
+        RunConfig(spec=spec, backend=args.backend, obs=obs,
+                  shard_workers=args.shard_workers))
     s = session.run()
     print(format_table([s.row()]))
     _print_class_table(s)
+    if obs is None:
+        return 0
     return _render_point_obs(session, s, args)
 
 
@@ -465,9 +501,10 @@ def _run_replicated_point(spec: WorkloadSpec, args) -> int:
         from repro.obs.progress import cell_progress
         engine = ExecutionEngine(args.workers,
                                  progress=cell_progress(label="replicates"))
-    rs = run_replicated(RunConfig(spec=spec, backend=args.backend),
-                        args.replicates, workers=args.workers,
-                        engine=engine)
+    rs = run_replicated(
+        RunConfig(spec=spec, backend=args.backend,
+                  shard_workers=getattr(args, "shard_workers", 1)),
+        args.replicates, workers=args.workers, engine=engine)
     print(format_table([rs.row()]))
     uni = rs.metric("unicast_mean")
     print(f"unicast latency: {format_mean_ci(uni.mean, uni.ci_half_width)}"

@@ -55,12 +55,22 @@ class RunConfig:
     #: the default and the zero-overhead path -- installs nothing:
     #: no probe callbacks, no histogram bank, no profiler wrappers.
     obs: Optional[ObsSpec] = None
+    #: spatial domain decomposition: split *this one run* across
+    #: ``shard_workers`` processes, each owning a contiguous arc of the
+    #: network (``repro.sim.shard``).  Orthogonal to the replication
+    #: pool's ``workers`` axis, which shards *whole runs*.  Requires the
+    #: ``array`` backend; the merged summary is byte-identical to
+    #: ``shard_workers=1``.
+    shard_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
             raise ValueError(
                 f"unknown simulation backend {self.backend!r}; "
                 f"expected one of {sorted(BACKENDS)}")
+        if self.shard_workers < 1:
+            raise ValueError(
+                f"shard_workers must be >= 1 (got {self.shard_workers})")
 
     def with_backend(self, backend: str) -> "RunConfig":
         return replace(self, backend=backend)
@@ -162,6 +172,9 @@ class SimulationSession:
     # ------------------------------------------------------------------
     def run(self) -> RunSummary:
         """Run the configured horizon and return the summary."""
+        if self.config.shard_workers > 1:
+            from repro.sim.shard.runner import run_sharded
+            return run_sharded(self)
         spec = self.config.spec
         mid = spec.warmup + (spec.cycles - spec.warmup) // 2
         # fault events for cycle T land as a probe after step(T-1) --

@@ -1,0 +1,17 @@
+"""Spatial domain decomposition of one simulation run.
+
+One run's flat array state is split into contiguous shards (quadrants
+of the Quarc ring, row bands of the mesh/torus, arcs of a ring), each
+driven by its own process in lockstep with per-cycle halo exchange of
+cut-link flits and credits; the merged summary is byte-identical to
+the serial array engine.  See :mod:`repro.sim.shard.partition` for the
+geometry, :mod:`repro.sim.shard.worker` for the per-shard engine, and
+``src/repro/sim/README.md`` for the determinism argument.
+"""
+
+from repro.sim.shard.partition import (ShardPlan, live_cut_links,
+                                       make_plan, topology_cut_links)
+from repro.sim.shard.runner import run_sharded
+
+__all__ = ["ShardPlan", "make_plan", "topology_cut_links",
+           "live_cut_links", "run_sharded"]

@@ -1,0 +1,225 @@
+"""Halo transports: in-process mailboxes and a shared-memory slab.
+
+Both present the same four calls (``send`` / ``recv`` / ``pub_read`` /
+``close``) with the same cadence contract:
+
+* at cycle ``t`` a worker first calls ``recv(w, t)`` -- which for the
+  shared-memory transport is also the barrier: it blocks until every
+  other worker has finished *sending* cycle ``t - 1`` -- then reads the
+  ghost-credit board via ``pub_read(w, t)``, steps, and finally calls
+  ``send(w, t, ...)``;
+* all cells are double-buffered by cycle parity.  A slot of parity ``p``
+  written at cycle ``t`` is read at ``t + 1`` and can only be
+  overwritten at ``t + 2`` -- and no worker reaches its ``t + 2`` send
+  before every worker has passed the ``t + 1`` barrier, which is after
+  the read.  That makes a plain write/publish protocol race-free with
+  no locks and no copies beyond the payload itself.
+
+The shared-memory variant relies on program-ordered stores (payload,
+then count, then the per-worker cycle slot).  CPython's eval loop plus
+x86-TSO give that ordering on the supported platforms; on weakly
+ordered ISAs (ARM) the interpreter's internal locking still serialises
+the stores in practice, but the design margin is thinner -- the
+differential harness is the backstop.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["InprocTransport", "ForkShmTransport", "pkt_record_cap"]
+
+#: Spin-barrier timeout: generous enough for a fully loaded large-N
+#: cycle under contention, small enough to surface a wedged worker.
+BARRIER_TIMEOUT_S = 600.0
+
+
+def pkt_record_cap(n: int) -> int:
+    """Worst-case ``REC_PKT`` length in words for an ``n``-node run:
+    9 fixed + bitstring length word + ceil(64+n bits / 32) chunks +
+    7 op words + 2 meta words + an ``n``-entry relay chain."""
+    return 24 + (n + 63) // 32 + n
+
+
+class InprocTransport:
+    """Single-process transport: Python lists handed across directly.
+
+    Used by the lockstep driver (``for t: for w: do_cycle``) for
+    deterministic tests, the differential harness, and the forced
+    ``REPRO_SHARD_INPROC=1`` mode.  The driving order makes the parity
+    argument above trivially hold; no barrier is needed.
+    """
+
+    def __init__(self, plan):
+        W = plan.shards
+        self.shards = W
+        # boxes[parity][receiver][sender]
+        self._boxes = [[[None] * W for _ in range(W)] for _ in (0, 1)]
+        self._pub = [np.zeros(plan.b2, dtype=np.int64),
+                     np.zeros(plan.b2, dtype=np.int64)]
+
+    def recv(self, w: int, t: int) -> List[Tuple[int, List[int]]]:
+        if t == 0:
+            return []
+        row = self._boxes[(t - 1) % 2][w]
+        return [(s, row[s]) for s in range(self.shards)
+                if s != w and row[s]]
+
+    def pub_read(self, w: int, t: int) -> np.ndarray:
+        return self._pub[(t - 1) % 2]
+
+    def send(self, w: int, t: int, out: Dict[int, List[int]],
+             pub_rows: List[int], pub_vals: List[int]) -> None:
+        boxes = self._boxes[t % 2]
+        for dest in range(self.shards):
+            if dest != w:
+                boxes[dest][w] = out.get(dest)
+        pub = self._pub[t % 2]
+        for r, v in zip(pub_rows, pub_vals):
+            pub[r] = v
+
+    def close(self) -> None:
+        pass
+
+
+class ForkShmTransport:
+    """One shared-memory ``int64`` slab for all halo traffic.
+
+    Layout (word offsets)::
+
+        [ slots: W ]                     last cycle each worker sent
+        [ pub:   2 x b2 ]                ghost-credit board, by parity
+        [ per ordered pair (s, r), per parity:
+              count | payload (cap words) ]
+
+    Channel capacities are computed from the plan's cut tables: every
+    cut flit costs at most ``4 + pkt_record_cap(n)`` words (push + a
+    first-time packet replica) and dateline upgrades at most
+    ``2 * dl_ports[sender]`` -- all per cycle, so the slab never grows
+    and workers never allocate on the hot path.
+    """
+
+    def __init__(self, plan, create: bool = True,
+                 name: Optional[str] = None):
+        from multiprocessing import shared_memory
+
+        W = plan.shards
+        self.shards = W
+        self._liveness: Optional[Callable[[], None]] = None
+        pktcap = pkt_record_cap(plan.n)
+        npush = [[0] * W for _ in range(W)]
+        for s in range(W):
+            for _pv, _row, dest in plan.cut_out[s]:
+                npush[s][dest] += 1
+        off = W                       # slots
+        self._pub_off = off
+        b2 = plan.b2
+        off += 2 * b2
+        self._chan: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
+        for s in range(W):
+            for r in range(W):
+                if s == r:
+                    continue
+                cap = (16 + npush[s][r] * (4 + pktcap)
+                       + 2 * plan.dl_ports[s])
+                for par in (0, 1):
+                    self._chan[(s, r, par)] = (off, cap)
+                    off += 1 + cap
+        self._words = off
+        self._owner = create
+        if create:
+            self.shm = shared_memory.SharedMemory(
+                create=True, size=8 * off)
+        else:
+            self.shm = shared_memory.SharedMemory(name=name)
+        buf = np.frombuffer(self.shm.buf, dtype=np.int64, count=off)
+        if create:
+            buf[:] = 0
+            buf[:W] = -1
+        self._buf = buf
+        self._slots = buf[:W]
+        self._pub = [buf[self._pub_off:self._pub_off + b2],
+                     buf[self._pub_off + b2:self._pub_off + 2 * b2]]
+
+    def set_liveness(self, cb: Callable[[], None]) -> None:
+        """Install a callback run inside the barrier spin (the parent
+        uses it to reap dead children instead of hanging)."""
+        self._liveness = cb
+
+    def _barrier(self, w: int, upto: int) -> None:
+        slots = self._slots
+        deadline = time.monotonic() + BARRIER_TIMEOUT_S
+        spins = 0
+        while int(slots.min()) < upto:
+            if self._liveness is not None:
+                self._liveness()
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"shard {w}: halo barrier timed out waiting for "
+                    f"cycle {upto} (slots={slots.tolist()})")
+            spins += 1
+            if spins < 64:
+                os.sched_yield()
+            else:
+                # oversubscribed host (fewer cores than shards): back
+                # off so laggards actually get scheduled
+                time.sleep(0.0002)
+
+    def recv(self, w: int, t: int) -> List[Tuple[int, List[int]]]:
+        if t == 0:
+            return []
+        self._barrier(w, t - 1)
+        par = (t - 1) % 2
+        buf = self._buf
+        msgs = []
+        for s in range(self.shards):
+            if s == w:
+                continue
+            off, _cap = self._chan[(s, w, par)]
+            cnt = int(buf[off])
+            if cnt:
+                msgs.append((s, buf[off + 1:off + 1 + cnt].tolist()))
+        return msgs
+
+    def pub_read(self, w: int, t: int) -> np.ndarray:
+        return self._pub[(t - 1) % 2]
+
+    def send(self, w: int, t: int, out: Dict[int, List[int]],
+             pub_rows: List[int], pub_vals: List[int]) -> None:
+        par = t % 2
+        buf = self._buf
+        for dest in range(self.shards):
+            if dest == w:
+                continue
+            off, cap = self._chan[(w, dest, par)]
+            words = out.get(dest)
+            if words:
+                if len(words) > cap:
+                    raise RuntimeError(
+                        f"halo channel {w}->{dest} overflow: "
+                        f"{len(words)} words > cap {cap}")
+                buf[off + 1:off + 1 + len(words)] = words
+                buf[off] = len(words)
+            else:
+                buf[off] = 0
+        pub = self._pub[par]
+        for r, v in zip(pub_rows, pub_vals):
+            pub[r] = v
+        self._slots[w] = t            # publish: payload stores precede
+
+    def close(self, unlink: Optional[bool] = None) -> None:
+        # drop every exported view first or shm.close() raises
+        # BufferError on the still-alive memoryview
+        self._buf = None
+        self._slots = None
+        self._pub = None
+        self.shm.close()
+        if unlink if unlink is not None else self._owner:
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:       # pragma: no cover
+                pass

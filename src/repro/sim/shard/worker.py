@@ -1,0 +1,641 @@
+"""Per-shard execution engine: a full array backend, spatially gated.
+
+Each worker builds the *complete* network and array state (identical,
+deterministic construction from the shared :class:`RunConfig`) but only
+animates its own contiguous arc of it:
+
+* the traffic mix is pruned to the shard's nodes (per-node RNG streams
+  make the draw sequence independent of other nodes);
+* route refreshes are filtered to owned buffer rows, so non-owned rows
+  stay inert -- the unmodified cycle kernels (C, vector) then simply
+  never move remote flits;
+* flits granted through a *cut* port land in a remote row, are
+  harvested after the step into halo records (``repro.sim.shard
+  .records``), and applied by the owning shard at the start of the next
+  cycle -- which is exactly when the serial engine would first act on
+  them (a flit pushed at cycle t arbitrates at t+1);
+* downstream credit for cut links comes from *ghost credits*: the row
+  owner publishes its end-of-cycle occupancy, the sender adds its own
+  in-transit flit, reproducing the serial start-of-cycle ``fullb`` bit
+  exactly;
+* dateline VC-class upgrades of shipped packets are broadcast
+  (``REC_VCLASS``) so every replica tracks the serial run's single
+  shared ``Packet.vclass``;
+* deliveries are *recorded*, not accounted: collector callbacks are
+  captured as raw events and replayed by the merge in exact serial
+  order (ascending cycle, then shard, then within-shard sequence --
+  which equals ascending port order because shard port ranges are
+  contiguous and ascending), so every float accumulates in the
+  reference order and the merged summary is byte-identical.
+
+The owner rule for cut-link arbitration: the *sender* owns the port
+(and its round-robin/owner state) and arbitrates exactly as the serial
+engine would -- remote credit is the only foreign input, supplied by
+the ghost-credit exchange one cycle in arrears, which matches the
+serial dependence (phase A reads start-of-cycle occupancy).
+"""
+
+from __future__ import annotations
+
+from types import MethodType
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.noc.packet import RELAY, UNICAST, CollectiveOp, Packet
+from repro.sim.array_backend import FIDMASK, FSHIFT, TAIL
+from repro.sim.shard.records import (GID_SHIFT, REC_PKT, REC_PUSH,
+                                     REC_VCLASS, decode_pkt, encode_pkt)
+
+__all__ = ["ShardWorker", "ShardRecorder"]
+
+
+class ShardRecorder:
+    """Collector stand-in: captures delivery events for merge replay.
+
+    Swapped into every adapter (and the backend's ``_acoll`` fast path)
+    so no worker-local float accumulation happens; the master replays
+    the merged event stream into the real collector.  Collective
+    delivery/completion callbacks are no-ops because the replay
+    recomputes them against the *global* op replicas (worker-local op
+    state is scratch -- cross-shard dedup, e.g. the antipodal duplicate
+    delivery, only resolves globally)."""
+
+    def __init__(self):
+        self.events: List[tuple] = []
+        self.note_unicast = 0
+        self.note_collective = 0
+        self.relay_segments = 0
+
+    # -- generation side -------------------------------------------------
+    def note_generated(self, collective: bool) -> None:
+        if collective:
+            self.note_collective += 1
+        else:
+            self.note_unicast += 1
+
+    # -- delivery side ---------------------------------------------------
+    def on_unicast(self, pkt, now: int) -> None:
+        self.events.append(("u", now, pkt.created, pkt.cls))
+
+    def on_unicast_cols(self, created: int, cls, now: int) -> None:
+        self.events.append(("u", now, created, cls))
+
+    def on_collective_delivery(self, op, now: int) -> None:
+        pass
+
+    def on_collective_complete(self, op, now: int) -> None:
+        pass
+
+    def on_relay_segment(self) -> None:
+        self.relay_segments += 1
+
+
+def _sharded_vector_cycle(self, now: int) -> int:
+    """Verbatim :meth:`ArrayBackend._vector_cycle` plus one capture:
+    every dateline-crossing flit word is appended to
+    ``self._shard_dlcap`` (the numpy-path analogue of the C kernel's
+    ``_ck_outdl`` list), which the worker turns into ``REC_VCLASS``
+    broadcasts.  Any behavioural edit here is a bug; keep in sync."""
+    want = self._want
+    hdrf = self._hdrf
+    ne = self._ne
+    fullb = self._fullb
+    down = self._down
+    owner = self._owner
+    pvb = self._pvb
+    front = self._front
+    qlen = self._qlen
+    rhead = self._rhead
+    rflat = self._rflat
+    rbase = self._rbase
+    rmask = self._rmask
+
+    # -- phase A: eligibility ---------------------------------------
+    fullpv = fullb[down]
+    avail = (owner == -1) & ~fullpv
+    h1 = avail[pvb]
+    elig = np.where(hdrf, h1 | avail[self._pvb2], ~fullpv[pvb]) & ne
+    ei = np.flatnonzero(elig)
+    if ei.size == 0:
+        return 0
+
+    # -- phase A: round-robin pick, one winner per port -------------
+    jof = self._jof
+    rr = self._rr
+    ep = want[ei]
+    prio = (jof[ei] - rr[ep]) & self._Fm1
+    if self._jit_pick is not None:          # pragma: no cover - numba
+        k = self._jit_pick(ep, prio, self._jit_bestpr,
+                           self._jit_bestat)
+        wi = self._jit_bestat[:k].copy()
+        bwin = ei[wi]
+        pg = ep[wi]
+    else:
+        key = ((((ep << self._LF) | prio) << self._ESH)
+               | self._arange[:ei.size])
+        key.sort()
+        kp = key >> self._LFESH
+        if key.size > 1:
+            mask = np.empty(kp.size, bool)
+            mask[0] = True
+            np.not_equal(kp[1:], kp[:-1], out=mask[1:])
+            key = key[mask]
+            kp = kp[mask]
+        bwin = ei[key & self._EMASK]
+        pg = kp
+    rr[pg] = jof[bwin] + 1
+
+    # -- phase B: gathers against start-of-cycle state --------------
+    fw = front[bwin]
+    tailw = (fw & TAIL) != 0
+    headw = (fw & FIDMASK) == 0
+    hdrfw = hdrf[bwin]
+    h1w = h1[bwin]
+    dlvw = self._dlv[bwin]
+    vcw = np.where(hdrfw & ~h1w, 1, self._vcreq[bwin])
+    pvw = pg * 2 + vcw
+
+    # pops
+    ql = qlen[bwin] - 1
+    qlen[bwin] = ql
+    nz = ql > 0
+    ne[bwin] = nz
+    fullb[bwin] = False
+    rh = rhead[bwin] + 1
+    rhead[bwin] = rh
+    front[bwin] = rflat[rbase[bwin] + (rh & rmask[bwin])]
+    if self._sideset:
+        hits = self._sideset.intersection(bwin.tolist())
+        for b in hits:
+            self._refill(b)
+            if qlen[b] > 0:
+                front[b] = rflat[self._rbase_py[b]
+                                 + (int(rhead[b])
+                                    & self._rmask_py[b])]
+
+    # switching tables
+    cur = owner[pvw]
+    owner[pvw] = np.where(headw & ~tailw, bwin,
+                          np.where(tailw & (cur == bwin), -1, cur))
+    want[bwin[tailw]] = -1
+    hdrf[bwin] = False
+    self._vcreq[bwin] = vcw
+    pvb[bwin] = pvw
+    self._fs[pg] += 1
+
+    # pushes (ejections land on the sink sentinel row)
+    dstb = down[pvw]
+    eje = dstb == self._SB
+    ql2 = qlen[dstb]
+    rflat[rbase[dstb] + ((rhead[dstb] + ql2) & rmask[dstb])] = fw
+    wasempty = ql2 == 0
+    ql2 += 1
+    qlen[dstb] = ql2
+    fullb[dstb] = ql2 >= self._qcap[dstb]
+    ne[dstb] = True
+    front[dstb[wasempty]] = fw[wasempty]
+    SB = self._SB
+    qlen[SB] = 0
+    ne[SB] = False
+    fullb[SB] = False
+    nej = int(eje.sum())
+    if nej:
+        self._inflight -= nej
+        fs2 = self.net.fault_state
+        if fs2 is not None:
+            fs2.ejected_flits += nej
+
+    # -- residue 1: dateline VC-class upgrades ----------------------
+    refresh: List[int] = []
+    dli = np.flatnonzero(self._isdl[pg])
+    if dli.size:
+        hdr_of = self._hdr_of
+        dlcap = self._shard_dlcap
+        for w in dli.tolist():
+            fword = int(fw[w])
+            dlcap.append(fword)
+            aid = fword >> FSHIFT
+            self._pkts[aid].vclass = 1
+            hb = hdr_of.get(aid, -1)
+            if (hb >= 0 and hdrf[hb] and ne[hb]
+                    and (int(front[hb]) >> FSHIFT) == aid):
+                refresh.append(hb)
+
+    # -- residue 2: tail deliveries, in ascending port order --------
+    deli = np.flatnonzero(tailw & (dlvw | eje))
+    if deli.size:
+        fwl = fw[deli].tolist()
+        pgl = pg[deli].tolist()
+        dl = dlvw[deli].tolist()
+        el = eje[deli].tolist()
+        pnode = self._pnode
+        for i in range(len(fwl)):
+            aid = fwl[i] >> FSHIFT
+            node = pnode[pgl[i]]
+            if dl[i]:
+                self._deliver(node, aid, now)
+            if el[i]:
+                self._deliver(node, aid, now)
+
+    # -- residue 3: route refreshes for newly-exposed headers -------
+    r1 = bwin[tailw & nz]
+    if r1.size:
+        refresh.extend(r1.tolist())
+    cand = dstb[wasempty & ~eje]
+    if cand.size:
+        cand = cand[want[cand] == -1]
+        if cand.size:
+            refresh.extend(cand.tolist())
+    if refresh:
+        self._refresh_many(refresh)
+    return bwin.size
+
+
+class ShardWorker:
+    """Drives one shard of a sharded run over its own session.
+
+    ``session`` must be freshly built (cycle 0) with the array backend
+    attached and no faults/fallback; ``plan`` is the shared
+    :class:`~repro.sim.shard.partition.ShardPlan`; ``probes`` is the
+    cycle->callback dict mirroring the serial run's (fired one wall
+    cycle late, after the halo apply, which restores exact post-step
+    serial state)."""
+
+    def __init__(self, session, plan, w: int, transport,
+                 probes: Dict[int, object]):
+        self.session = session
+        self.plan = plan
+        self.w = w
+        self.transport = transport
+        self.probes = probes
+        self.net = session.net
+        self.mix = session.mix
+        be = session.backend
+        self.be = be
+        self.cycles = session.config.spec.cycles
+        self.n_lo, self.n_hi = plan.node_ranges[w]
+        self.b_lo, self.b_hi = plan.buf_ranges[w]
+        self.cut_out = plan.cut_out[w]
+        self.recorder = ShardRecorder()
+
+        # gid machinery: per-worker aid/op spaces, origin-stamped ids
+        self._gid_of: Dict[int, int] = {}        # local aid -> gid
+        self._gid2aid: Dict[int, int] = {}       # gid -> local aid
+        self._sent_gids = [set() for _ in range(plan.shards)]
+        self._ops: Dict[int, CollectiveOp] = {}  # op gid -> replica
+        self._op_gid: Dict[int, tuple] = {}      # id(op) -> (gid, op)
+        self._op_serial = 0
+        self._ops_shipped: Dict[int, tuple] = {}
+        self._sent_rows: Set[int] = set()
+        self._clsid = {None: 0}
+        self._cls_of: List[Optional[str]] = [None]
+        if self.mix.classes:
+            for i, c in enumerate(self.mix.classes):
+                self._clsid[c.name] = i + 1
+                self._cls_of.append(c.name)
+        self._my_pub_rows = [r for r in plan.pub_rows
+                             if self.b_lo <= r < self.b_hi]
+        #: debug seam (``tests/differential.py``): called as
+        #: ``on_applied(worker, t)`` right after the halo apply, when
+        #: the owned slice of state equals serial post-step(t - 1)
+        self.on_applied = None
+
+        self._prune_mix()
+        self._swap_collectors()
+        self._gate_backend()
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def _prune_mix(self) -> None:
+        """Keep only this shard's injection tokens.  Every stream the
+        injectors consume is per-node (``node{i}.*``), so dropping other
+        nodes' tokens does not perturb owned nodes' draw sequences."""
+        mix = self.mix
+        lo, hi = self.n_lo, self.n_hi
+
+        def node_of(tok):
+            return tok if isinstance(tok, int) else tok[0]
+
+        keep = [i for i, tok in enumerate(mix._tokens)
+                if lo <= node_of(tok) < hi]
+        mix._tokens = [mix._tokens[i] for i in keep]
+        mix._injectors = [mix._injectors[i] for i in keep]
+
+    def _swap_collectors(self) -> None:
+        """Point every adapter (and the backend unicast fast path) at
+        the recorder.  The session's real collector stays pristine for
+        the master's merge replay."""
+        if self.net.on_tail is not None:
+            raise AssertionError(
+                "sharded runs cannot compose with net.on_tail hooks")
+        rec = self.recorder
+        for ad in self.net.adapters:
+            ad.collector = rec
+        self.be._acoll = [rec] * len(self.net.adapters)
+
+    def _gate_backend(self) -> None:
+        be = self.be
+        worker = self
+        blo, bhi = self.b_lo, self.b_hi
+
+        # refresh filter: non-owned rows are never routed, so remote
+        # state stays inert and the full-size kernels skip it for free
+        orig_many = be._refresh_many
+        orig_one = be._refresh_one
+
+        def refresh_many(blist):
+            owned = [b for b in blist if blo <= b < bhi]
+            if owned:
+                orig_many(owned)
+
+        def refresh_one(b):
+            if blo <= b < bhi:
+                orig_one(b)
+
+        be._refresh_many = refresh_many
+        be._refresh_one = refresh_one
+
+        # delivery recording (see ShardRecorder): raw arrival events
+        # for op-carrying traffic; relay regeneration runs live (it
+        # only reads pkt.meta, and its local op mutations are scratch)
+        rec = self.recorder
+
+        def deliver(node, aid, now):
+            net = be.net
+            net.deliveries += 1
+            traf = be._ptraf[aid]
+            if traf == UNICAST and be._uni_short:
+                be._acoll[node].on_unicast_cols(
+                    be._pborn[aid], be._pcls[aid], now)
+                return
+            pkt = be._pkts[aid]
+            op = pkt.op
+            if op is not None:
+                rec.events.append(
+                    ("c", now, node, worker._gid_for_op(op)))
+            if traf == RELAY or traf == UNICAST:
+                net.adapters[node].receive_tail(pkt, now)
+            # BROADCAST/MULTICAST: receive_tail's only effects are
+            # op.deliver + collector callbacks, all replayed at merge
+
+        be._deliver = deliver
+
+        # force the capturing vector path (never scalar) and mirror the
+        # C kernel's dateline out-list for the numpy path
+        be.SCALAR_MAX = -1
+        be._shard_dlcap = []
+        be._vector_cycle = MethodType(_sharded_vector_cycle, be)
+
+    # ------------------------------------------------------------------
+    # gid helpers
+    # ------------------------------------------------------------------
+    def _gid_for_aid(self, aid: int) -> int:
+        g = self._gid_of.get(aid)
+        if g is None:
+            g = (self.w << GID_SHIFT) | aid
+            self._gid_of[aid] = g
+            self._gid2aid[g] = aid
+        return g
+
+    def _gid_for_op(self, op) -> int:
+        hit = self._op_gid.get(id(op))
+        if hit is not None:
+            return hit[0]
+        g = (self.w << GID_SHIFT) | self._op_serial
+        self._op_serial += 1
+        self._op_gid[id(op)] = (g, op)      # strong ref: id() stays valid
+        self._ops[g] = op
+        self._ops_shipped[g] = (op.src, op.created, op.expected,
+                                op.kind, op.cls)
+        return g
+
+    # ------------------------------------------------------------------
+    # per-cycle protocol
+    # ------------------------------------------------------------------
+    def do_cycle(self, t: int) -> None:
+        msgs = self.transport.recv(self.w, t)
+        self._apply(msgs)
+        hook = self.on_applied
+        if hook is not None:
+            hook(self, t)
+        cb = self.probes.get(t - 1)
+        if cb is not None:
+            # deferred one wall cycle: post-apply state == serial
+            # post-step(t-1) state, and mix counters are untouched
+            # until generate(t) below
+            cb(t - 1)
+        self._ghost_credits(t)
+        self.mix.generate(t)
+        be = self.be
+        if be._ck is not None:
+            be._ck_counts[:] = 0         # the idle short-circuit in
+        del be._shard_dlcap[:]           # step() leaves stale outputs
+        be.step(t)
+        out = self._harvest()
+        self.transport.send(
+            self.w, t, out, self._my_pub_rows,
+            [int(be._qlen[r]) for r in self._my_pub_rows])
+
+    def finish(self) -> None:
+        """Apply the last cycle's halo and fire its deferred probes."""
+        cycles = self.cycles
+        msgs = self.transport.recv(self.w, cycles)
+        self._apply(msgs)
+        cb = self.probes.get(cycles - 1)
+        if cb is not None:
+            cb(cycles - 1)
+        if self.session.profiler is not None:
+            self.session.profiler.finish()
+
+    # ------------------------------------------------------------------
+    # halo: harvest (sender side)
+    # ------------------------------------------------------------------
+    def _harvest(self) -> Dict[int, List[int]]:
+        be = self.be
+        qlen = be._qlen
+        out: Dict[int, List[int]] = {}
+        sent_rows = self._sent_rows
+        for pv, row, dest in self.cut_out:
+            ql = int(qlen[row])
+            if not ql:
+                continue
+            if ql != 1:
+                raise AssertionError(
+                    f"cut row {row} holds {ql} flits after one cycle")
+            word = int(be._rflat[be._rbase_py[row]
+                                 + (int(be._rhead[row])
+                                    & be._rmask_py[row])])
+            aid = word >> FSHIFT
+            gid = self._gid_for_aid(aid)
+            lst = out.get(dest)
+            if lst is None:
+                lst = out[dest] = []
+            if gid not in self._sent_gids[dest]:
+                self._sent_gids[dest].add(gid)
+                pkt = be._pkts[aid]
+                opgid = (self._gid_for_op(pkt.op)
+                         if pkt.op is not None else 0)
+                opcls = (self._clsid[pkt.op.cls]
+                         if pkt.op is not None else 0)
+                encode_pkt(lst, gid, pkt, opgid, self._clsid[pkt.cls],
+                           opcls)
+            lst.extend((REC_PUSH, row, gid, word & ((1 << FSHIFT) - 1)))
+            # transient-row reset: the flit now exists only on the wire
+            qlen[row] = 0
+            be._ne[row] = False
+            be._fullb[row] = False
+            be._inflight -= 1
+            sent_rows.add(row)
+        # dateline upgrades of shipped packets -> broadcast
+        if be._ck is not None:
+            ndl = int(be._ck_counts[1])
+            dl_words = be._ck_outdl[:ndl].tolist() if ndl else ()
+        else:
+            dl_words = be._shard_dlcap
+        if dl_words:
+            seen: Set[int] = set()
+            vgids: List[int] = []
+            for word in dl_words:
+                g = self._gid_of.get(word >> FSHIFT)
+                if g is not None and g not in seen:
+                    seen.add(g)
+                    vgids.append(g)
+            if vgids:
+                for dest in range(self.plan.shards):
+                    if dest == self.w:
+                        continue
+                    lst = out.get(dest)
+                    if lst is None:
+                        lst = out[dest] = []
+                    for g in vgids:
+                        lst.extend((REC_VCLASS, g))
+        return out
+
+    # ------------------------------------------------------------------
+    # halo: apply (receiver side)
+    # ------------------------------------------------------------------
+    def _apply(self, msgs: List[Tuple[int, List[int]]]) -> None:
+        if not msgs:
+            return
+        be = self.be
+        qlen = be._qlen
+        refresh: List[int] = []
+        for _sender, words in msgs:
+            i = 0
+            nwords = len(words)
+            while i < nwords:
+                typ = int(words[i])
+                if typ == REC_PUSH:
+                    row = int(words[i + 1])
+                    gid = int(words[i + 2])
+                    word = ((self._gid2aid[gid] << FSHIFT)
+                            | int(words[i + 3]))
+                    i += 4
+                    ql = int(qlen[row])
+                    cap = be._cap_py[row]
+                    if ql >= cap:
+                        raise AssertionError(
+                            f"halo push into full row {row}")
+                    be._rflat[be._rbase_py[row]
+                              + ((int(be._rhead[row]) + ql)
+                                 & be._rmask_py[row])] = word
+                    qlen[row] = ql + 1
+                    be._ne[row] = True
+                    be._fullb[row] = ql + 1 >= cap
+                    be._inflight += 1
+                    if ql == 0:
+                        be._front[row] = word
+                        if int(be._want[row]) < 0:
+                            refresh.append(row)
+                elif typ == REC_PKT:
+                    i, f = decode_pkt(words, i)
+                    self._make_replica(f)
+                elif typ == REC_VCLASS:
+                    gid = int(words[i + 1])
+                    i += 2
+                    aid = self._gid2aid.get(gid)
+                    if aid is not None:
+                        be._pkts[aid].vclass = 1
+                        hb = be._hdr_of.get(aid, -1)
+                        if (hb >= 0 and be._hdrf[hb] and be._ne[hb]
+                                and (int(be._front[hb]) >> FSHIFT)
+                                == aid):
+                            refresh.append(hb)
+                else:
+                    raise AssertionError(f"bad halo record type {typ}")
+        if refresh:
+            # all candidates are owned rows; one batch refresh mirrors
+            # the serial end-of-cycle _refresh_many
+            be._refresh_many(sorted(set(refresh)))
+
+    def _make_replica(self, f: Dict[str, object]) -> None:
+        gid = f["gid"]
+        if gid in self._gid2aid:            # pragma: no cover - defensive
+            return
+        op = None
+        od = f["op"]
+        if od is not None:
+            og = od["gid"]
+            op = self._ops.get(og)
+            if op is None:
+                op = CollectiveOp(od["src"], od["created"],
+                                  od["expected"], od["kind"])
+                op.cls = self._cls_of[od["clsid"]]
+                self._ops[og] = op
+                self._op_gid[id(op)] = (og, op)
+        pkt = Packet(f["src"], f["dst"], f["size"], f["traffic"],
+                     created=f["created"], op=op,
+                     bitstring=f["bitstring"])
+        pkt.vclass = f["vclass"]
+        pkt.cls = self._cls_of[f["clsid"]]
+        meta = f["meta"]
+        if meta is not None:
+            pkt.meta.update(meta)
+        aid = self.be._intern(pkt)
+        self._gid_of[aid] = gid
+        self._gid2aid[gid] = aid
+
+    # ------------------------------------------------------------------
+    # ghost credits (sender side, start of cycle)
+    # ------------------------------------------------------------------
+    def _ghost_credits(self, t: int) -> None:
+        """Set ``fullb`` for every cut-out row to the serial
+        start-of-cycle value: the owner's published end-of-(t-1)
+        occupancy plus this shard's own in-transit flit."""
+        pub = self.transport.pub_read(self.w, t)
+        be = self.be
+        fullb = be._fullb
+        cap = be._cap_py
+        sent = self._sent_rows
+        for _pv, row, _dest in self.cut_out:
+            occ = int(pub[row]) + (1 if row in sent else 0)
+            fullb[row] = occ >= cap[row]
+        sent.clear()
+
+    # ------------------------------------------------------------------
+    # results (shipped to the master merge)
+    # ------------------------------------------------------------------
+    def results(self) -> Dict[str, object]:
+        be = self.be
+        mix = self.mix
+        net = self.net
+        rec = self.recorder
+        session = self.session
+        return {
+            "events": rec.events,
+            "ops": self._ops_shipped,
+            "note_generated": (rec.note_unicast, rec.note_collective),
+            "relay_segments": rec.relay_segments,
+            "mix_counters": (mix.generated_unicasts,
+                             mix.generated_broadcasts,
+                             dict(mix.class_generated)),
+            "net_counters": (net.flits_moved, net.deliveries),
+            "total_flits": be.total_flits(),
+            "backlog_mid": session._backlog_mid,
+            "probe_records": (session.probe_set.records
+                              if session.probe_set is not None else None),
+            "profile": (session.profiler.report()
+                        if session.profiler is not None else None),
+        }

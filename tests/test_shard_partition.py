@@ -1,0 +1,148 @@
+"""Shard partition maps: coverage, flat geometry, cut-link oracles.
+
+The contract under test (:mod:`repro.sim.shard.partition`):
+
+* every topology's :meth:`partition` covers the node id space exactly
+  once with contiguous, non-empty ranges, for every shard count;
+* :func:`make_plan` turns node ranges into consistent flat-array
+  geometry: contiguous buffer/port column ranges, a row-owner table
+  that matches them, and a cut-out table whose every entry names a
+  *remote* row owned by its recorded destination shard, fed by exactly
+  one out-port network-wide;
+* the two independent cut-link oracles agree: the topology channel
+  count (:func:`topology_cut_links`) matches the wired object graph
+  (:func:`live_cut_links`), and the latter tracks fault-killed links
+  when asked to (``include_dead=False``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.sim.session import RunConfig, SimulationSession
+from repro.sim.shard import live_cut_links, make_plan, topology_cut_links
+from repro.traffic.workload import WorkloadSpec
+
+KINDS = ("quarc", "spidergon", "mesh", "torus")
+#: all are 2^k squares, so every kind accepts every size
+SIZES = (16, 64, 256)
+SHARDS = (2, 3, 4)
+
+
+def build(kind: str, n: int, backend: str = "array",
+          faults: str = "") -> SimulationSession:
+    spec = WorkloadSpec(kind=kind, n=n, msg_len=4, beta=0.05, rate=0.01,
+                        cycles=100, warmup=20, seed=5, faults=faults)
+    return SimulationSession(RunConfig(spec=spec, backend=backend))
+
+
+def owner_table(topo, shards: int):
+    owner = [0] * topo.n
+    for w, (lo, hi) in enumerate(topo.partition(shards)):
+        for node in range(lo, hi):
+            owner[node] = w
+    return owner
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_partition_covers_every_node_once(kind):
+    for n in SIZES:
+        session = build(kind, n)
+        for shards in SHARDS:
+            plan = make_plan(session.net, session.topo,
+                             session.backend, shards)
+            seen = []
+            for w, (lo, hi) in enumerate(plan.node_ranges):
+                assert lo < hi, f"shard {w} owns no nodes"
+                seen.extend(range(lo, hi))
+                assert all(plan.node_owner[x] == w
+                           for x in range(lo, hi))
+            assert seen == list(range(n))
+        session.backend.detach()
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_plan_flat_geometry(kind):
+    for n in SIZES:
+        session = build(kind, n)
+        be = session.backend
+        for shards in SHARDS:
+            plan = make_plan(session.net, session.topo, be, shards)
+            for ranges, total in ((plan.buf_ranges, be._B),
+                                  (plan.port_ranges, be._P)):
+                assert ranges[0][0] == 0 and ranges[-1][1] == total
+                for (_, b), (c, _) in zip(ranges, ranges[1:]):
+                    assert b == c, "column ranges are not contiguous"
+            for w, (blo, bhi) in enumerate(plan.buf_ranges):
+                assert all(plan.row_owner[r] == w
+                           for r in range(blo, bhi))
+        session.backend.detach()
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_cut_out_rows_are_remote_and_uniquely_fed(kind):
+    for n in SIZES:
+        session = build(kind, n)
+        for shards in SHARDS:
+            plan = make_plan(session.net, session.topo,
+                             session.backend, shards)
+            cut_rows = set()
+            feeders = {}
+            for w, cuts in enumerate(plan.cut_out):
+                plo, phi = plan.port_ranges[w]
+                blo, bhi = plan.buf_ranges[w]
+                for pv, row, dest in cuts:
+                    assert 2 * plo <= pv < 2 * phi, \
+                        "cut slot outside the sender's port range"
+                    assert not blo <= row < bhi, \
+                        "cut row is not remote"
+                    assert dest == plan.row_owner[row] != w
+                    cut_rows.add(row)
+                    feeders.setdefault(row, set()).add(pv // 2)
+            # the owner rule's premise: one arbitrating port per row
+            assert all(len(ports) == 1 for ports in feeders.values())
+            assert plan.pub_rows == sorted(cut_rows)
+        session.backend.detach()
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_cut_links_match_topology(kind):
+    for n in SIZES:
+        session = build(kind, n)
+        for shards in SHARDS:
+            plan = make_plan(session.net, session.topo,
+                             session.backend, shards)
+            live = live_cut_links(session.net, plan.node_owner)
+            assert live == topology_cut_links(session.topo, shards)
+            # every cut physical link is one arbitrating out-port
+            cut_ports = {pv // 2 for cuts in plan.cut_out
+                         for pv, _row, _dest in cuts}
+            assert len(cut_ports) == len(live)
+        session.backend.detach()
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_live_cut_links_track_killed_links(kind):
+    n = 16
+    shards = 2
+    probe = build(kind, n, backend="reference")
+    src, dst = topology_cut_links(probe.topo, shards)[0]
+    probe.backend.detach()
+
+    # cycle-0 faults are applied during session construction, so the
+    # link is already dead here
+    session = build(kind, n, backend="reference",
+                    faults=f"link:src={src},dst={dst}@cycle=0")
+    owner = owner_table(session.topo, shards)
+    # the full wiring still lists the dead link ...
+    before = live_cut_links(session.net, owner)
+    assert before == topology_cut_links(session.topo, shards)
+    # ... and the degraded view drops exactly it
+    gone = (Counter(before)
+            - Counter(live_cut_links(session.net, owner,
+                                     include_dead=False)))
+    assert sum(gone.values()) >= 1
+    assert set(gone) == {(src, dst)}
+    session.backend.detach()
