@@ -23,10 +23,12 @@ import argparse
 import json
 import sys
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from benchlib import backend_equivalence_failures, emit
-from repro.experiments.figures import APP_WORKLOADS, app_scenario_rows
+from repro.experiments.figures import (APP_WORKLOADS,
+                                       CLOSED_APP_WORKLOADS,
+                                       app_scenario_rows)
 from repro.experiments.sweep import sweep_scenarios
 from repro.sim.records import RunSummary
 from repro.traffic.workload import WorkloadSpec
@@ -42,21 +44,26 @@ def _base_spec(smoke: bool) -> WorkloadSpec:
 
 
 def run_matrix(smoke: bool = False, backend: str = "reference",
-               workers: int = 1) -> List[RunSummary]:
+               workers: int = 1,
+               workloads: Sequence[str] = APP_WORKLOADS
+               ) -> List[RunSummary]:
     return sweep_scenarios(_base_spec(smoke), kinds=KINDS,
-                           workloads=list(APP_WORKLOADS),
+                           workloads=list(workloads),
                            backend=backend, workers=workers)
 
 
 def check_equivalence(smoke: bool,
                       reference: Optional[List[RunSummary]] = None,
-                      workers: int = 1) -> List[str]:
+                      workers: int = 1,
+                      workloads: Sequence[str] = APP_WORKLOADS
+                      ) -> List[str]:
     """Reference vs every optimized backend on every cell (full
     ``RunSummary`` equality -- the per-class breakdown included);
     returns failure messages."""
     return backend_equivalence_failures(
         run_matrix, lambda s: f"{s.noc} {s.extra['workload']}",
-        smoke=smoke, reference=reference, workers=workers)
+        smoke=smoke, reference=reference, workers=workers,
+        workloads=workloads)
 
 
 def check_sanity(summaries: List[RunSummary]) -> List[str]:
@@ -85,6 +92,34 @@ def check_sanity(summaries: List[RunSummary]) -> List[str]:
     return failures
 
 
+def check_completions(summaries: List[RunSummary]) -> List[str]:
+    """Closed-loop cells must report completion times: every closed
+    class completed transactions, and a round trip costs more than its
+    single-leg latency."""
+    failures = []
+    for s in summaries:
+        wl = s.extra["workload"]
+        blocks = s.extra.get("classes", {})
+        seen = 0
+        for name, info in blocks.items():
+            if "completed" not in info:
+                continue
+            seen += 1
+            label = f"{s.noc} {wl} class={name}"
+            if info["completed"] <= 0:
+                failures.append(f"{label}: no completed transactions")
+            if info["completion_samples"] > 0 and \
+                    not info["completion_mean"] >= info["latency_mean"]:
+                failures.append(
+                    f"{label}: completion mean "
+                    f"{info['completion_mean']:.1f} below single-leg "
+                    f"latency {info['latency_mean']:.1f}")
+        if not seen:
+            failures.append(f"{s.noc} {wl}: no class reported "
+                            f"closed-loop completion keys")
+    return failures
+
+
 # ----------------------------------------------------------------------
 # pytest entry point (benchmarks are not part of tier-1 collection)
 # ----------------------------------------------------------------------
@@ -92,6 +127,18 @@ def test_app_scenarios_smoke():
     summaries = run_matrix(smoke=True)
     failures = (check_equivalence(smoke=True, reference=summaries)
                 + check_sanity(summaries))
+    assert not failures, failures
+
+
+def test_closed_app_scenarios_smoke():
+    """The closed-loop variants through the same gate: every backend
+    byte-identical on every (noc, workload) cell, completion keys
+    present and non-trivial."""
+    summaries = run_matrix(smoke=True, workloads=CLOSED_APP_WORKLOADS)
+    failures = (check_equivalence(smoke=True, reference=summaries,
+                                  workloads=CLOSED_APP_WORKLOADS)
+                + check_sanity(summaries)
+                + check_completions(summaries))
     assert not failures, failures
 
 
@@ -106,22 +153,31 @@ def main(argv=None) -> int:
                     help="write the report here (default: print only)")
     ap.add_argument("--workers", type=int, default=1,
                     help="process pool for the grid cells")
+    ap.add_argument("--closed", action="store_true",
+                    help="run the closed-loop workload variants "
+                         "(request/reply windows, phased iterations) "
+                         "and additionally gate completion reporting")
     args = ap.parse_args(argv)
 
+    workloads = CLOSED_APP_WORKLOADS if args.closed else APP_WORKLOADS
     t0 = time.perf_counter()
-    summaries = run_matrix(smoke=args.smoke, workers=args.workers)
+    summaries = run_matrix(smoke=args.smoke, workers=args.workers,
+                           workloads=workloads)
     rows = app_scenario_rows(summaries)
     emit("bench_app_scenarios", rows,
          title=f"application scenarios N={N} (per-class breakdown)")
 
     failures = (check_equivalence(args.smoke, reference=summaries,
-                                  workers=args.workers)
+                                  workers=args.workers,
+                                  workloads=workloads)
                 + check_sanity(summaries))
+    if args.closed:
+        failures += check_completions(summaries)
     report = {
         "bench": "app_scenarios",
         "mode": "smoke" if args.smoke else "full",
         "kinds": list(KINDS),
-        "workloads": list(APP_WORKLOADS),
+        "workloads": list(workloads),
         "cells": len(summaries),
         "wall_s": round(time.perf_counter() - t0, 2),
         "failures": failures,

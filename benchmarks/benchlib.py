@@ -39,7 +39,8 @@ def emit(name: str, rows: Sequence[Dict[str, object]],
 
 def backend_equivalence_failures(run_matrix, label, smoke: bool,
                                  reference=None,
-                                 workers: int = 1) -> List[str]:
+                                 workers: int = 1,
+                                 **matrix_kwargs) -> List[str]:
     """Run ``run_matrix(smoke=..., backend=..., workers=...)`` once per
     optimized backend and compare every cell against the ``reference``
     matrix (full ``RunSummary`` equality); returns failure messages.
@@ -47,16 +48,19 @@ def backend_equivalence_failures(run_matrix, label, smoke: bool,
     Shared by the scenario-matrix and app-scenario benches so the
     equivalence gate cannot drift between them.  ``label(summary)``
     renders one cell's name; pass an already-computed ``reference``
-    matrix to avoid re-running it.
+    matrix to avoid re-running it.  Extra keyword arguments are
+    forwarded to ``run_matrix`` (e.g. a workload-list override).
     """
     from repro.sim.backend import BACKENDS
     failures: List[str] = []
     ref = reference if reference is not None else run_matrix(
-        smoke=smoke, backend="reference", workers=workers)
+        smoke=smoke, backend="reference", workers=workers,
+        **matrix_kwargs)
     for backend in sorted(BACKENDS):
         if backend == "reference":
             continue
-        got = run_matrix(smoke=smoke, backend=backend, workers=workers)
+        got = run_matrix(smoke=smoke, backend=backend, workers=workers,
+                         **matrix_kwargs)
         if len(got) != len(ref):
             failures.append(
                 f"[{backend}]: matrix size {len(got)} != reference "

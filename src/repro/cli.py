@@ -458,11 +458,12 @@ def _cmd_point(args) -> int:
         print("error: --metrics-out requires at least one --probe",
               file=sys.stderr)
         return 2
-    spec = WorkloadSpec(kind=args.kind, n=args.nodes, msg_len=args.msg_len,
-                        beta=args.beta, rate=rate, cycles=args.cycles,
-                        warmup=args.warmup, seed=args.seed,
-                        pattern=args.pattern, arrival=args.arrival,
-                        workload=args.workload, faults=args.faults)
+    spec = WorkloadSpec.parse(
+        kind=args.kind, n=args.nodes, msg_len=args.msg_len,
+        beta=args.beta, rate=rate, cycles=args.cycles,
+        warmup=args.warmup, seed=args.seed,
+        pattern=args.pattern, arrival=args.arrival,
+        workload=args.workload, faults=args.faults)
     if args.replicates > 1:
         if args.metrics_out:
             # one stream documents one run; an aggregate has no single
@@ -558,12 +559,13 @@ def _cmd_trace(args) -> int:
         rate = _resolve_rate(args)
         if rate is None:
             return 2
-        spec = WorkloadSpec(kind=args.kind, n=args.nodes,
-                            msg_len=args.msg_len, beta=args.beta,
-                            rate=rate, cycles=args.cycles,
-                            warmup=args.warmup, seed=args.seed,
-                            pattern=args.pattern, arrival=args.arrival,
-                            workload=args.workload, faults=args.faults)
+        spec = WorkloadSpec.parse(
+            kind=args.kind, n=args.nodes,
+            msg_len=args.msg_len, beta=args.beta,
+            rate=rate, cycles=args.cycles,
+            warmup=args.warmup, seed=args.seed,
+            pattern=args.pattern, arrival=args.arrival,
+            workload=args.workload, faults=args.faults)
         session = SimulationSession(
             RunConfig(spec=spec, backend=args.backend))
         recorder = TraceRecorder.attach(session.mix,
@@ -606,7 +608,7 @@ def _cmd_trace(args) -> int:
         print("note: v2 traces replay the recorded destinations/"
               "classes/sizes verbatim; --pattern and --seed do not "
               "change the traffic", file=sys.stderr)
-    s = run_point(WorkloadSpec(**fields), backend=args.backend)
+    s = run_point(WorkloadSpec.parse(**fields), backend=args.backend)
     print(format_table([s.row()]))
     _print_class_table(s)
     print(f"[trace] replayed {len(trace)} arrivals from {args.path}")

@@ -41,7 +41,12 @@ __all__ = ["ClassStats", "LatencyCollector", "aggregate_values",
 #: across replicates (the remaining keys -- cast/msg_len/rate -- are
 #: class declarations, constant across seeds, and carried through)
 _CLASS_MEASURED_KEYS = ("generated", "delivered", "latency_mean",
-                        "samples")
+                        "samples",
+                        # closed-loop completion accounting; present
+                        # only on classes with closed-loop semantics
+                        # (the per-key guard below skips them elsewhere)
+                        "completed", "completion_mean",
+                        "completion_samples")
 
 
 def aggregate_class_blocks(blocks: Sequence[Mapping[str, Mapping]]

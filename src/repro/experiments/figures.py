@@ -197,6 +197,12 @@ def run_fig11(fast: Optional[bool] = None, seed: int = 1,
 #: the registered application workloads the driver compares by default
 APP_WORKLOADS = ("cache_coherence:storms=true", "allreduce")
 
+#: the closed-loop variants of the same models (window > 0 engages the
+#: closed-loop application engine: request/reply windows, phased
+#: iterations, completion-time reporting)
+CLOSED_APP_WORKLOADS = ("cache_coherence:storms=true,window=4",
+                        "allreduce:window=4,quota=12,gap=48")
+
 
 def app_scenario_rows(summaries: Sequence[RunSummary]
                       ) -> List[Dict[str, object]]:

@@ -187,10 +187,11 @@ def compare_networks(n: int, msg_len: int, beta: float,
                  else default_workload_rates())
     results: Dict[str, List[SweepSummary]] = {}
     for kind in kinds:
-        spec = WorkloadSpec(kind=kind, n=n, msg_len=msg_len, beta=beta,
-                            rate=0.0, cycles=cycles, warmup=warmup,
-                            seed=seed, pattern=pattern, arrival=arrival,
-                            workload=workload, faults=faults)
+        spec = WorkloadSpec.parse(
+            kind=kind, n=n, msg_len=msg_len, beta=beta,
+            rate=0.0, cycles=cycles, warmup=warmup,
+            seed=seed, pattern=pattern, arrival=arrival,
+            workload=workload, faults=faults)
         if verbose:  # pragma: no cover
             print(f"[{kind}] N={n} M={msg_len} beta={beta:g}")
         kwargs = {"obs": obs} if obs is not None else {}

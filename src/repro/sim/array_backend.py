@@ -1042,6 +1042,13 @@ class ArrayBackend(SimBackend):
 
     def run_mix(self, mix: "TrafficMix", cycles: int,
                 probes: Optional[Probes] = None) -> None:
+        if getattr(mix, "reactive", False):
+            # closed-loop mixes need per-cycle generation so delivery
+            # feedback (surfaced by _deliver at cycle granularity, C
+            # kernel included) reaches the sources before the next
+            # generate; step() stays the array/kernel engine
+            SimBackend.run_mix(self, mix, cycles, probes)
+            return
         if self._fallback:
             net = self.net
             busy: Callable[[], bool] = lambda: net.total_flits() > 0

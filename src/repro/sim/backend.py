@@ -135,6 +135,15 @@ class SimBackend:
         Both optimized backends drive this one loop, so their
         fast-forward semantics cannot drift apart.
         """
+        if getattr(mix, "reactive", False):
+            # deep guard: reactive sources consult delivery feedback
+            # every cycle, so block precomputation would silently
+            # diverge from the reference loop -- the optimized run_mix
+            # overrides are expected to route reactive mixes to the
+            # per-cycle SimBackend.run_mix before reaching here
+            raise RuntimeError(
+                "reactive (closed-loop) mixes cannot be fast-forwarded; "
+                "use the per-cycle SimBackend.run_mix path")
         net = self.net
         probes = probes or {}
         step = self.step
@@ -334,6 +343,12 @@ class ActiveSetBackend(SimBackend):
         no-ops in the reference loop.  A cycle is provably empty when
         the active set is empty and no wake is pending.
         """
+        if getattr(mix, "reactive", False):
+            # reactive sources need every cycle generated in sequence;
+            # the active-set step() still prunes idle routers, so the
+            # backend keeps its per-step advantage without fast-forward
+            SimBackend.run_mix(self, mix, cycles, probes)
+            return
         net = self.net
         self._run_mix_fastforward(
             mix, cycles, probes,

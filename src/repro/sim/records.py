@@ -73,9 +73,11 @@ class RunSummary:
 
     def class_rows(self) -> list:
         """Flat per-class dict rows for CSV emission / CLI tables
-        (empty for single-class runs)."""
+        (empty for single-class runs).  Closed-loop classes add
+        transaction columns; open classes leave them blank."""
         rows = []
         for name, info in self.per_class.items():
+            closed = "completed" in info
             rows.append({
                 "noc": self.noc,
                 "class": name,
@@ -86,6 +88,9 @@ class RunSummary:
                 "delivered": info.get("delivered", 0),
                 "latency": round(float(info.get("latency_mean", 0.0)), 2),
                 "samples": info.get("samples", 0),
+                "completed": info["completed"] if closed else "",
+                "completion": (round(float(info["completion_mean"]), 2)
+                               if closed else ""),
             })
         return rows
 

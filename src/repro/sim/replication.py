@@ -343,6 +343,11 @@ class ReplicatedSummary:
                 "latency": round(float(lat.get("mean", 0.0)), 2),
                 "latency_ci95": (round((ci[1] - ci[0]) / 2.0, 2)
                                  if ci else 0.0),
+                "completed": (round(info["completed"]["mean"], 1)
+                              if "completed" in info else ""),
+                "completion": (round(
+                    float(info["completion_mean"]["mean"]), 2)
+                    if "completion_mean" in info else ""),
                 "replicates": self.replicates,
             })
         return rows

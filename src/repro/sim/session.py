@@ -82,6 +82,42 @@ def run_config(spec: WorkloadSpec, backend: str = "reference",
     return RunConfig(spec=spec, backend=backend, **kwargs)
 
 
+def _closedloop_trace(cfg: RunConfig, s: "SimulationSession") -> bool:
+    return (s._closedloop is not None
+            and cfg.spec.arrival.split(":", 1)[0].strip() == "trace")
+
+
+#: The axis-combination validation table: every invalid combination of
+#: workload semantics x execution axes lives here, checked once at
+#: session construction with an actionable message -- not as scattered
+#: mid-run failures.  Each rule is ``(predicate(config, session),
+#: message)``; predicates run after the mix (and any closed-loop
+#: engine) is wired but before faults/observability installation.
+_AXIS_RULES = (
+    (_closedloop_trace,
+     "closed-loop workloads cannot replay a trace (arrival='trace:...'):"
+     " replayed injections are fixed at their recorded cycles and cannot"
+     " react to delivery feedback; drop the trace arrival, or record and"
+     " replay the open-loop variant of the workload (window=0)"),
+    (lambda cfg, s: s._closedloop is not None and cfg.shard_workers > 1,
+     "closed-loop workloads cannot run sharded (shard_workers > 1): the"
+     " closed-loop engine needs the network's tail-delivery callback,"
+     " which the sharded engine does not transport across shard"
+     " boundaries; run with shard_workers=1 (any backend)"),
+    (lambda cfg, s: s._closedloop is not None and bool(cfg.spec.faults),
+     "closed-loop workloads cannot be combined with fault injection: a"
+     " dropped request or reply would strand its window slot forever and"
+     " deadlock the source; clear spec.faults, or use the open-loop"
+     " variant of the workload (window=0)"),
+    (lambda cfg, s: getattr(s.mix, "reactive", False)
+     and s._closedloop is None,
+     "reactive arrival models ('closedloop:...') need an engine feeding"
+     " them delivery callbacks, which only closed-loop workloads wire"
+     " up; use e.g. workload='cache_coherence:window=4' instead of a"
+     " bare closedloop arrival spec"),
+)
+
+
 def _merge_probes(probes: Dict[int, Callable[[int], None]],
                   extra: Dict[int, Callable[[int], None]]) -> None:
     """Merge probe callbacks cycle-wise, chaining on collisions (the
@@ -126,21 +162,42 @@ class SimulationSession:
             collector=self.collector, bcast_mode=config.bcast_mode,
             clone_disabled=config.clone_disabled)
         self.backend: SimBackend = make_backend(config.backend, self.net)
+        #: the closed-loop engine, when the workload declares closed
+        #: semantics (``None`` for every open-loop run)
+        self._closedloop = None
         if spec.workload:
             # multi-class mode: the workload spec names the class list;
             # spec.rate scales every class's native rate (the sweep axis)
+            from repro.workloads.closedloop import (ClosedLoopEngine,
+                                                    ClosedLoopWorkload)
             from repro.workloads.registry import resolve_workload
-            classes = resolve_workload(spec.workload, spec.n)
-            if spec.rate != 1.0:
-                classes = [c.scaled(spec.rate) for c in classes]
-            self.mix = TrafficMix(self.net, seed=spec.seed,
-                                  classes=classes)
+            built = resolve_workload(spec.workload, spec.n)
+            if isinstance(built, ClosedLoopWorkload):
+                if spec.rate != 1.0:
+                    built = built.scaled(spec.rate)
+                self.mix = TrafficMix(self.net, seed=spec.seed,
+                                      classes=built.classes)
+                # the engine hooks itself into the mix; the delivery
+                # side is the network's tail-callback seam, which every
+                # backend fires at cycle granularity
+                self._closedloop = ClosedLoopEngine(
+                    built, self.mix, warmup=spec.warmup)
+                self.net.on_tail = self._closedloop.on_tail
+            else:
+                classes = built
+                if spec.rate != 1.0:
+                    classes = [c.scaled(spec.rate) for c in classes]
+                self.mix = TrafficMix(self.net, seed=spec.seed,
+                                      classes=classes)
         else:
             self.mix = TrafficMix(
                 self.net, spec.rate, spec.msg_len, spec.beta,
                 seed=spec.seed,
                 pattern=resolve_pattern(spec.pattern, spec.n),
                 arrival=resolve_arrival(spec.arrival))
+        for rule, message in _AXIS_RULES:
+            if rule(config, self):
+                raise ValueError(message)
         self._backlog_mid = 0
         # fault model (opt-in; spec.faults empty leaves the network's
         # fault seam at None, i.e. zero overhead and untouched routing)
@@ -322,11 +379,12 @@ class SimulationSession:
         fixtures -- keep their exact pre-multi-class shape)."""
         mix = self.mix
         coll = self.collector
+        eng = self._closedloop
         if mix.classes is not None:
             out = {}
             for cls in mix.classes:
                 stats = coll.per_class.get(cls.name)
-                out[cls.name] = {
+                block = {
                     "cast": cls.cast,
                     "msg_len": cls.msg_len,
                     "rate": cls.rate,
@@ -335,6 +393,15 @@ class SimulationSession:
                     "latency_mean": stats.latency_mean if stats else 0.0,
                     "samples": stats.latency.n if stats else 0,
                 }
+                if eng is not None:
+                    # completion time (transaction round trip / phase
+                    # duration) alongside per-message latency -- only
+                    # for classes with closed-loop semantics, so open
+                    # classes (and open-loop runs) keep their shape
+                    cl_block = eng.class_block(cls.name)
+                    if cl_block is not None:
+                        block.update(cl_block)
+                out[cls.name] = block
             return out
         if mix.class_generated:
             # v2-trace replay of a multi-class run: class declarations

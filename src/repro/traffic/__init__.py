@@ -9,10 +9,16 @@ temporal arrival models (bursty MMPP, trace replay) -- resolved from
 named-scenario spec strings by :mod:`repro.workloads`.
 """
 
-from repro.traffic.generators import (
+from repro.traffic.arrival import (
+    ArrivalModel,
     BernoulliInjector,
+    BurstyInjector,
+    TraceInjector,
+)
+from repro.traffic.generators import (
     BitComplementPattern,
     DestinationPattern,
+    DirectoryPattern,
     HotspotPattern,
     NeighbourPattern,
     PermutationPattern,
@@ -23,8 +29,12 @@ from repro.traffic.mix import TrafficMix
 from repro.traffic.workload import WorkloadSpec
 
 __all__ = [
+    "ArrivalModel",
     "BernoulliInjector",
+    "BurstyInjector",
+    "TraceInjector",
     "DestinationPattern",
+    "DirectoryPattern",
     "UniformPattern",
     "HotspotPattern",
     "TransposePattern",

@@ -1,19 +1,29 @@
-"""Injection processes and spatial destination patterns.
+"""Spatial destination patterns (and the historical injector import path).
 
-Message arrivals at each node follow an independent Bernoulli process:
-with probability ``rate`` per cycle a node creates one message -- the
-discrete-time analogue of the Poisson sources used in the paper's
-simulator and in the analytical models of [8].  Destination choice is a
-pluggable :class:`DestinationPattern`.
+Destination choice is a pluggable :class:`DestinationPattern`: the
+paper's uniform workload, adversarial patterns (transpose,
+bit-complement), locality patterns (neighbour, directory) and fixed
+permutations all map ``(source, rng) -> destination``.
+
+.. deprecated::
+    The temporal arrival models formerly defined here live in
+    :mod:`repro.traffic.arrival` (one module for the whole
+    ``ArrivalModel`` protocol).  ``BernoulliInjector`` is re-exported
+    below so existing imports keep working.
 """
 
 from __future__ import annotations
 
-import math
 import random
 from typing import List, Optional, Sequence
 
+# Deprecated re-export: the Bernoulli process (and the shared block
+# contract it anchors) moved to repro.traffic.arrival.
+from repro.traffic.arrival import NEVER as _NEVER  # noqa: F401
+from repro.traffic.arrival import ArrivalModel, BernoulliInjector
+
 __all__ = [
+    "ArrivalModel",
     "BernoulliInjector",
     "DestinationPattern",
     "UniformPattern",
@@ -22,83 +32,8 @@ __all__ = [
     "BitComplementPattern",
     "NeighbourPattern",
     "PermutationPattern",
+    "DirectoryPattern",
 ]
-
-
-#: Gap sentinel for ``rate == 0`` sources: far beyond any horizon, large
-#: enough that per-cycle countdown can never reach zero in practice.
-_NEVER = 1 << 62
-
-#: Inter-arrival gaps are geometric; a gap draw costs one uniform draw,
-#: so the process consumes one RNG value per *arrival*, not per cycle --
-#: which is what lets the active-set backend fast-forward idle spans in
-#: O(arrivals) instead of O(cycles).
-_LOG = math.log
-_LOG1P = math.log1p
-
-
-class BernoulliInjector:
-    """Per-node Bernoulli(rate) arrival process.
-
-    Implemented as its exact equivalent, a geometric inter-arrival
-    countdown: after each arrival the number of non-arrival cycles until
-    the next one is drawn as ``G = floor(ln(1-U) / ln(1-rate))`` (``G = 0``
-    with probability ``rate``, i.e. back-to-back arrivals).  Per-cycle
-    :meth:`fires` decrements the countdown; :meth:`arrivals_in` consumes
-    the same gap sequence in bulk, so cycle-by-cycle and block-based
-    drivers produce identical arrival trains from the same stream.
-    """
-
-    __slots__ = ("rate", "rng", "arrivals", "_gap")
-
-    def __init__(self, rate: float, rng: random.Random):
-        if not 0.0 <= rate <= 1.0:
-            raise ValueError(f"rate must be in [0, 1] (got {rate})")
-        self.rate = rate
-        self.rng = rng
-        self.arrivals = 0
-        self._gap = self._draw_gap()          # cycles until first arrival
-
-    def _draw_gap(self) -> int:
-        """Non-arrival cycles preceding the next arrival."""
-        rate = self.rate
-        if rate <= 0.0:
-            return _NEVER
-        if rate >= 1.0:
-            return 0
-        # floor(ln(1-U)/ln(1-rate)), U ~ Uniform[0,1): geometric with
-        # P(G=0) = rate, so back-to-back arrivals keep probability `rate`.
-        # log1p keeps the denominator non-zero (and accurate) for rates
-        # below float epsilon, where log(1.0 - rate) would be 0.0.
-        return int(_LOG(1.0 - self.rng.random()) / _LOG1P(-rate))
-
-    def fires(self) -> bool:
-        """One per-cycle arrival check."""
-        gap = self._gap
-        if gap:
-            self._gap = gap - 1
-            return False
-        self.arrivals += 1
-        self._gap = self._draw_gap()
-        return True
-
-    def arrivals_in(self, start: int, stop: int) -> List[int]:
-        """All arrival cycles in ``[start, stop)``, consumed in bulk.
-
-        Leaves the countdown exactly where ``stop - start`` successive
-        :meth:`fires` calls would, so drivers may switch freely between
-        per-cycle and block consumption.
-        """
-        out: List[int] = []
-        if stop <= start:
-            return out
-        nxt = start + self._gap          # absolute cycle of next arrival
-        while nxt < stop:
-            out.append(nxt)
-            self.arrivals += 1
-            nxt += 1 + self._draw_gap()
-        self._gap = nxt - stop
-        return out
 
 
 class DestinationPattern:
@@ -236,3 +171,63 @@ class PermutationPattern(DestinationPattern):
 
     def pick(self, src: int, rng: random.Random) -> int:
         return self.mapping[src]
+
+
+class DirectoryPattern(DestinationPattern):
+    """Directory-home locality on NUMA quadrants of the ring address map.
+
+    The node space is split into ``quadrants`` contiguous arcs (the
+    natural quadrant structure of the Quarc/Spidergon rim).  Each access
+    targets a directory home in the source's own quadrant with
+    probability ``local``, else a home in a remote quadrant, uniform
+    within the chosen region and never the source itself.  ``local``
+    models page-placement affinity: 1.0 is perfect NUMA locality, 0.0
+    all-remote, and intermediate values interpolate toward uniform
+    traffic.
+
+    RNG discipline: one draw for the local/remote decision plus one for
+    the home choice (single-node regions consume the region draw too),
+    so the per-arrival draw count is fixed and backend-independent.
+    """
+
+    name = "directory"
+
+    def __init__(self, n: int, quadrants: int = 4, local: float = 0.5):
+        super().__init__(n)
+        if not 1 <= quadrants <= n:
+            raise ValueError(
+                f"directory needs 1 <= quadrants <= N={n} "
+                f"(got {quadrants})")
+        if not 0.0 <= local <= 1.0:
+            raise ValueError(
+                f"directory local fraction must be in [0,1] (got {local})")
+        self.quadrants = quadrants
+        self.local = local
+        # contiguous arcs; the first n % quadrants arcs get the extra node
+        base, rem = divmod(n, quadrants)
+        self._bounds: List[int] = []     # arc start offsets, + final n
+        start = 0
+        for q in range(quadrants):
+            self._bounds.append(start)
+            start += base + (1 if q < rem else 0)
+        self._bounds.append(n)
+        self._quad_of = [0] * n
+        for q in range(quadrants):
+            for node in range(self._bounds[q], self._bounds[q + 1]):
+                self._quad_of[node] = q
+
+    def pick(self, src: int, rng: random.Random) -> int:
+        q = self._quad_of[src]
+        lo, hi = self._bounds[q], self._bounds[q + 1]
+        go_local = rng.random() < self.local
+        if go_local and hi - lo > 1:
+            d = lo + rng.randrange(hi - lo - 1)
+            return d if d < src else d + 1
+        # remote quadrant (or a single-node home arc, where "local"
+        # would mean self-send): uniform over the nodes outside the arc
+        span = self.n - (hi - lo)
+        if span == 0:                     # quadrants == 1: plain uniform
+            d = rng.randrange(self.n - 1)
+            return d if d < src else d + 1
+        d = rng.randrange(span)
+        return d if d < lo else d + (hi - lo)

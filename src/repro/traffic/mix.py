@@ -143,6 +143,11 @@ class TrafficMix:
         self.classes: Optional[Tuple[TrafficClass, ...]] = None
         #: replay payload: per-node event lists from a v2 trace
         self._replay: Optional[List[List[tuple]]] = None
+        #: attached closed-loop engine (see :meth:`attach_closedloop`)
+        self._cl_engine = None
+        #: True when any injector is a reactive arrival model (needs
+        #: delivery feedback, so the mix must run cycle by cycle)
+        self.reactive = False
 
         streams = RngStreams(seed)
         # identical streams for identical seeds => common random numbers
@@ -217,6 +222,8 @@ class TrafficMix:
         self._class_rng = [streams.get(f"node{i}.class")
                            for i in range(net.n)]
         self._dst_rng = [streams.get(f"node{i}.dst") for i in range(net.n)]
+        self.reactive = any(getattr(inj, "reactive", False)
+                            for inj in self._injectors)
 
     # ------------------------------------------------------------------
     # construction: multi-class mode
@@ -288,6 +295,8 @@ class TrafficMix:
                     i, cls.rate, streams.get(f"node{i}.{cls.name}.arrivals"))
                 self._injectors.append(inj)
                 self._tokens.append((i, k))
+        self.reactive = any(getattr(inj, "reactive", False)
+                            for inj in self._injectors)
 
     # ------------------------------------------------------------------
     # generation
@@ -297,6 +306,19 @@ class TrafficMix:
         if (self.stop_generating_at is not None
                 and now >= self.stop_generating_at):
             return
+        eng = self._cl_engine
+        if eng is not None:
+            # engine-driven injections (directory replies, phase
+            # barriers, phase restarts) precede this cycle's sources
+            eng.begin_cycle(now)
+        elif self.reactive:
+            raise RuntimeError(
+                "this mix contains reactive (closed-loop) arrival "
+                "models but no engine is attached to feed them "
+                "delivery callbacks; build the mix from a closed-loop "
+                "workload spec through SimulationSession (which wires "
+                "a ClosedLoopEngine), or attach one explicitly via "
+                "attach_closedloop()")
         if self._replay is not None:
             inject = self.inject
             pos = self._replay_pos
@@ -353,6 +375,12 @@ class TrafficMix:
             self.generated_unicasts += 1
 
     def _inject_class(self, node: int, k: int, now: int) -> None:
+        eng = self._cl_engine
+        if eng is not None and k in eng.closed_k:
+            # a closed-loop class's issue is a transaction, not a bare
+            # message: the engine owns sizing, tagging and accounting
+            eng.issue(node, k, now)
+            return
         cls = self.classes[k]
         name = cls.name
         if cls.cast == CAST_BROADCAST:
@@ -417,6 +445,12 @@ class TrafficMix:
         here; they are drawn by :meth:`inject` at the arrival cycle, in
         the same order as the reference loop.
         """
+        if self.reactive:
+            raise RuntimeError(
+                "reactive (closed-loop) mixes cannot precompute "
+                "arrivals: every fires() decision depends on deliveries "
+                "up to the previous cycle; run the mix cycle by cycle "
+                "instead of fast-forwarding")
         by_cycle: Dict[int, List[object]] = {}
         if self.stop_generating_at is not None:
             stop = min(stop, self.stop_generating_at)
@@ -454,6 +488,16 @@ class TrafficMix:
                 else:
                     lst.append(tok)
         return by_cycle
+
+    def attach_closedloop(self, engine) -> None:
+        """Bind a :class:`~repro.workloads.closedloop.ClosedLoopEngine`:
+        :meth:`generate` calls its ``begin_cycle`` hook each cycle and
+        routes closed-loop class issues through ``engine.issue``.  The
+        caller still owns the delivery side (install ``engine.on_tail``
+        as the network's tail callback)."""
+        if self._cl_engine is not None and self._cl_engine is not engine:
+            raise ValueError("a closed-loop engine is already attached")
+        self._cl_engine = engine
 
     @property
     def generated_total(self) -> int:

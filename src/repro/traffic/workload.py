@@ -72,6 +72,35 @@ class WorkloadSpec:
             from repro.faults import FaultPlan
             FaultPlan.parse(self.faults)
 
+    @classmethod
+    def parse(cls, **fields) -> "WorkloadSpec":
+        """The single validated construction entrypoint for callers
+        assembling a spec from external input (CLI flags, sweep grids,
+        JSON rows, fuzz corpora).
+
+        Compared to the raw constructor it (a) rejects unknown field
+        names with the list of valid ones -- a misspelt axis fails
+        loudly instead of a ``TypeError`` deep in a driver -- (b) treats
+        ``None`` values as "use the field default", which is what
+        optional CLI flags and sparse JSON rows naturally produce, and
+        (c) strips whitespace from the scenario spec strings before the
+        usual construction-time validation runs.
+        """
+        valid = cls.__dataclass_fields__
+        unknown = sorted(set(fields) - set(valid))
+        if unknown:
+            raise ValueError(
+                f"unknown workload field(s) {', '.join(map(repr, unknown))};"
+                f" valid fields: {', '.join(valid)}")
+        clean = {}
+        for key, value in fields.items():
+            if value is None:
+                continue
+            if key in ("kind", "pattern", "arrival", "workload", "faults"):
+                value = str(value).strip()
+            clean[key] = value
+        return cls(**clean)
+
     def with_rate(self, rate: float) -> "WorkloadSpec":
         return replace(self, rate=rate)
 

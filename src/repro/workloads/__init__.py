@@ -30,11 +30,15 @@ Modules
 :mod:`repro.workloads.registry`
     The scenario registry, spec-string grammar and resolvers (patterns,
     arrivals and multi-class workloads).
+:mod:`repro.workloads.closedloop`
+    The closed-loop application engine: reactive sources with
+    outstanding-request windows, request/reply transactions and
+    barrier-synchronised phases, fed per-cycle completion callbacks by
+    every backend.
 :mod:`repro.workloads.arrivals`
-    Temporal models beyond Bernoulli: on/off bursty (MMPP) and
-    deterministic trace replay, both honouring the
-    ``fires()``/``arrivals_in()`` block contract the fast-forwarding
-    backends rely on.
+    Deprecated re-export shim: the temporal models live in
+    :mod:`repro.traffic.arrival` (the shared ``ArrivalModel``
+    protocol module).
 :mod:`repro.workloads.trace`
     The JSONL trace formats (v1 arrival times; v2 full injection
     records), :class:`~repro.workloads.trace.TraceRecorder` and
@@ -49,14 +53,17 @@ from repro.workloads import appmodels as _appmodels  # noqa: F401 (registers)
 from repro.workloads.appmodels import (allreduce_classes,
                                        cache_coherence_classes)
 from repro.workloads.arrivals import BurstyInjector, TraceInjector
+from repro.workloads.closedloop import (ClosedLoopClass, ClosedLoopSource,
+                                        ClosedLoopWorkload)
 from repro.workloads.registry import (ARRIVAL, PATTERN, WORKLOAD,
-                                      ArrivalModel, ScenarioInfo,
-                                      check_spec, check_workload,
-                                      format_spec, get_scenario,
-                                      list_scenarios, parse_classes,
-                                      parse_spec, register_scenario,
-                                      resolve_arrival, resolve_pattern,
-                                      resolve_workload, scenario_table)
+                                      ArrivalModel, ResolvedArrival,
+                                      ScenarioInfo, check_spec,
+                                      check_workload, format_spec,
+                                      get_scenario, list_scenarios,
+                                      parse_classes, parse_spec,
+                                      register_scenario, resolve_arrival,
+                                      resolve_pattern, resolve_workload,
+                                      scenario_table)
 from repro.workloads.trace import (TRACE_FORMAT, TRACE_FORMAT_V2, Trace,
                                    TraceRecorder)
 
@@ -66,6 +73,10 @@ __all__ = [
     "WORKLOAD",
     "ArrivalModel",
     "BurstyInjector",
+    "ClosedLoopClass",
+    "ClosedLoopSource",
+    "ClosedLoopWorkload",
+    "ResolvedArrival",
     "ScenarioInfo",
     "TRACE_FORMAT",
     "TRACE_FORMAT_V2",

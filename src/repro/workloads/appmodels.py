@@ -11,6 +11,14 @@ scenarios: each builder here returns a list of
 ``WorkloadSpec(workload=...)``, sweeps and benchmarks all reach it with
 no further wiring (``repro scenarios list`` discovers it).
 
+Both models are built on the closed-loop application engine
+(:mod:`repro.workloads.closedloop`): with ``window=0`` (the default)
+they build the original open-loop class lists -- byte-identical to the
+pre-engine behaviour, pinned by the golden fixtures -- and with
+``window > 0`` they return a
+:class:`~repro.workloads.closedloop.ClosedLoopWorkload` whose sources
+throttle on outstanding transactions.
+
 Models
 ------
 ``cache_coherence``
@@ -19,89 +27,173 @@ Models
     ``inv``); read misses fetch the line from its home node as ordinary
     unicasts (class ``fill``).  ``storms=true`` makes the invalidations
     bursty (write-heavy phases), the regime where the Spidergon's
-    broadcast-by-unicast relay chain falls furthest behind.
+    broadcast-by-unicast relay chain falls furthest behind.  With
+    ``window > 0`` the fills become directory request/reply
+    transactions: a short ``req_len``-flit miss request travels to the
+    line's home directory (the ``directory`` pattern's NUMA quadrants,
+    ``quadrants`` arcs with probability ``local`` of a same-quadrant
+    home), the home spends ``service`` cycles looking the line up, and
+    the ``data_len``-flit fill flows back; each core stalls once
+    ``window`` misses are outstanding (its MSHR budget).
 ``allreduce``
     A ring all-reduce: reduce-scatter chunks flow downstream (class
     ``scatter``, dst = src+1), all-gather chunks flow upstream (class
-    ``gather``, dst = src-1), and a low-rate completion ``barrier``
-    broadcast models the end-of-iteration notification.
+    ``gather``, dst = src-1), and a ``barrier`` broadcast models the
+    end-of-iteration notification.  Open-loop (``window=0``) the three
+    classes free-run at fixed rates; with ``window > 0`` the chunk
+    streams become closed-loop *phased* classes -- each node sends
+    ``quota`` chunks per direction per iteration, at most ``window`` in
+    flight, pacing issues with a ``think`` coin -- and the engine ends
+    each iteration with the barrier broadcast (root rotating across
+    iterations) followed by ``gap`` idle cycles of compute.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Union
 
 from repro.traffic.mix import TrafficClass
+from repro.workloads.closedloop import (MODE_REQREPLY, MODE_STREAM,
+                                        ClosedLoopClass, ClosedLoopWorkload)
 from repro.workloads.registry import (WORKLOAD, ScenarioInfo,
                                       register_scenario)
 
 __all__ = ["cache_coherence_classes", "allreduce_classes"]
 
 
-def cache_coherence_classes(n: int, read_rate: float = 0.012,
-                            write_rate: float = 0.002,
-                            data_len: int = 10, inv_len: int = 2,
-                            storms: bool = False) -> List[TrafficClass]:
+def cache_coherence_classes(
+        n: int, read_rate: float = 0.012, write_rate: float = 0.002,
+        data_len: int = 10, inv_len: int = 2, storms: bool = False,
+        window: int = 0, req_len: int = 2, service: int = 8,
+        quadrants: int = 4, local: float = 0.6,
+) -> Union[List[TrafficClass], ClosedLoopWorkload]:
     """The paper's motivating MPSoC cache-coherence mix (Sec. 2.2).
 
-    ``fill``: read-miss line fetches, uniform home nodes, ``data_len``
-    flits (header + cache line + tail).  ``inv``: shared-write
-    invalidate broadcasts, ``inv_len`` flits (address-only).  With
-    ``storms=true`` the invalidations arrive in bursts -- the
-    write-intensive phases that stress the broadcast path hardest.
+    ``fill``: read-miss line fetches, ``data_len`` flits (header +
+    cache line + tail).  ``inv``: shared-write invalidate broadcasts,
+    ``inv_len`` flits (address-only).  With ``storms=true`` the
+    invalidations arrive in bursts -- the write-intensive phases that
+    stress the broadcast path hardest.
+
+    ``window=0`` (default): open-loop, uniform fill homes -- the
+    original model, byte-for-byte.  ``window > 0``: closed-loop
+    directory protocol -- fills become request/reply transactions
+    against NUMA-quadrant directory homes, with at most ``window``
+    misses outstanding per core (``read_rate`` becomes the per-cycle
+    issue probability while a slot is free).
     """
     inv_arrival = "bursty:on=0.2,len=6" if storms else "bernoulli"
-    return [
-        TrafficClass("fill", rate=read_rate, msg_len=data_len,
-                     pattern="uniform", cast="unicast"),
-        TrafficClass("inv", rate=write_rate, msg_len=inv_len,
-                     arrival=inv_arrival, cast="broadcast"),
-    ]
+    inv = TrafficClass("inv", rate=write_rate, msg_len=inv_len,
+                       arrival=inv_arrival, cast="broadcast")
+    if not window:
+        return [
+            TrafficClass("fill", rate=read_rate, msg_len=data_len,
+                         pattern="uniform", cast="unicast"),
+            inv,
+        ]
+    fill = TrafficClass(
+        "fill", rate=read_rate, msg_len=data_len,
+        pattern=f"directory:quadrants={quadrants},local={local}",
+        arrival=f"closedloop:window={window}", cast="unicast")
+    return ClosedLoopWorkload(
+        classes=(fill, inv),
+        closed=(ClosedLoopClass("fill", mode=MODE_REQREPLY,
+                                req_len=req_len, service=service),))
 
 
-def allreduce_classes(n: int, chunk: int = 8, rate: float = 0.01,
-                      barrier_rate: float = 0.0005,
-                      barrier_len: int = 2) -> List[TrafficClass]:
-    """A steady-state ring all-reduce.
+def allreduce_classes(
+        n: int, chunk: int = 8, rate: float = 0.01,
+        barrier_rate: float = 0.0005, barrier_len: int = 2,
+        window: int = 0, quota: int = 16, gap: int = 64,
+        think: float = 1.0,
+) -> Union[List[TrafficClass], ClosedLoopWorkload]:
+    """A ring all-reduce.
 
     Reduce-scatter chunks travel downstream and all-gather chunks
     upstream (``neighbour`` pattern with offsets +1 / -1), loading both
-    ring directions evenly; a sparse ``barrier`` broadcast models the
-    per-iteration completion notification.
+    ring directions evenly.
+
+    ``window=0`` (default): the original steady-state model -- the
+    chunk streams free-run at ``rate`` and a sparse ``barrier``
+    broadcast arrives at ``barrier_rate``, byte-for-byte.  ``window >
+    0``: closed-loop iterations -- each node sends ``quota`` chunks per
+    direction per iteration (``think`` issue probability, at most
+    ``window`` in flight per direction); when every chunk of the
+    iteration has been delivered the engine broadcasts the barrier
+    (rotating the root) and idles ``gap`` compute cycles before the
+    next iteration, so ``barrier_rate`` is unused (the barrier is
+    event-driven, not a rate process).
     """
-    return [
-        TrafficClass("scatter", rate=rate, msg_len=chunk,
-                     pattern="neighbour:offset=1", cast="unicast"),
-        TrafficClass("gather", rate=rate, msg_len=chunk,
-                     pattern="neighbour:offset=-1", cast="unicast"),
-        TrafficClass("barrier", rate=barrier_rate, msg_len=barrier_len,
-                     cast="broadcast"),
-    ]
+    if not window:
+        return [
+            TrafficClass("scatter", rate=rate, msg_len=chunk,
+                         pattern="neighbour:offset=1", cast="unicast"),
+            TrafficClass("gather", rate=rate, msg_len=chunk,
+                         pattern="neighbour:offset=-1", cast="unicast"),
+            TrafficClass("barrier", rate=barrier_rate, msg_len=barrier_len,
+                         cast="broadcast"),
+        ]
+    arrival = f"closedloop:window={window}"
+    return ClosedLoopWorkload(
+        classes=(
+            TrafficClass("scatter", rate=think, msg_len=chunk,
+                         pattern="neighbour:offset=1", arrival=arrival,
+                         cast="unicast"),
+            TrafficClass("gather", rate=think, msg_len=chunk,
+                         pattern="neighbour:offset=-1", arrival=arrival,
+                         cast="unicast"),
+            # rate 0: the engine injects the barrier at phase
+            # completion; it never fires as an arrival process
+            TrafficClass("barrier", rate=0.0, msg_len=barrier_len,
+                         cast="broadcast"),
+        ),
+        closed=(
+            ClosedLoopClass("scatter", mode=MODE_STREAM, quota=quota),
+            ClosedLoopClass("gather", mode=MODE_STREAM, quota=quota),
+        ),
+        barrier="barrier", gap=gap)
 
 
 register_scenario(ScenarioInfo(
     name="cache_coherence", kind=WORKLOAD,
     summary="MPSoC coherence traffic: cache-line fills (unicast) + "
-            "invalidation broadcasts (the paper's Sec. 2.2 workload)",
+            "invalidation broadcasts (the paper's Sec. 2.2 workload); "
+            "window>0 closes the loop (directory request/reply)",
     params={"read_rate": "line fills per core per cycle (default 0.012)",
             "write_rate": "shared writes -> invalidate broadcasts "
                           "(default 0.002)",
             "data_len": "cache-line fill size in flits (default 10)",
             "inv_len": "invalidate message size in flits (default 2)",
             "storms": "true for bursty invalidation storms "
-                      "(default false)"},
+                      "(default false)",
+            "window": "outstanding misses per core; 0 = open-loop "
+                      "(default 0)",
+            "req_len": "miss-request size in flits (default 2)",
+            "service": "directory lookup cycles before the fill reply "
+                       "(default 8)",
+            "quadrants": "directory-home NUMA quadrants (default 4)",
+            "local": "probability a line's home is in the requester's "
+                     "own quadrant (default 0.6)"},
     aliases=("coherence",),
     build=cache_coherence_classes))
 
 register_scenario(ScenarioInfo(
     name="allreduce", kind=WORKLOAD,
     summary="ring all-reduce: reduce-scatter + all-gather chunk streams "
-            "on both ring directions, plus a barrier broadcast",
+            "on both ring directions, plus a barrier broadcast; "
+            "window>0 closes the loop (phased iterations)",
     params={"chunk": "chunk size in flits (default 8)",
-            "rate": "chunks per node per cycle, per direction "
-                    "(default 0.01)",
-            "barrier_rate": "barrier broadcasts per node per cycle "
-                            "(default 0.0005)",
-            "barrier_len": "barrier message size in flits (default 2)"},
+            "rate": "chunks per node per cycle, per direction, "
+                    "open-loop mode (default 0.01)",
+            "barrier_rate": "barrier broadcasts per node per cycle, "
+                            "open-loop mode (default 0.0005)",
+            "barrier_len": "barrier message size in flits (default 2)",
+            "window": "chunks in flight per node per direction; 0 = "
+                      "open-loop (default 0)",
+            "quota": "chunks per node per direction per iteration "
+                     "(default 16)",
+            "gap": "idle compute cycles between iterations (default 64)",
+            "think": "issue probability per free window slot per cycle "
+                     "(default 1.0)"},
     aliases=("all-reduce", "all_reduce"),
     build=allreduce_classes))

@@ -1,218 +1,19 @@
-"""Temporal arrival models beyond the Bernoulli process.
+"""Deprecated import path for the temporal arrival models.
 
-Every injector here implements the block contract established by
-:class:`~repro.traffic.generators.BernoulliInjector`:
-
-* ``fires()`` -- one per-cycle arrival check;
-* ``arrivals_in(start, stop)`` -- the arrivals of ``stop - start``
-  successive cycles, consumed in bulk, leaving the internal state (and
-  the RNG stream) exactly where the equivalent ``fires()`` calls would.
-
-That contract is what lets the ``active`` backend precompute traffic in
-blocks and fast-forward idle gaps while staying byte-identical to the
-``reference`` backend: drivers may switch freely between per-cycle and
-block consumption without changing a single draw.
-
-Models
-------
-:class:`BurstyInjector`
-    A two-state Markov-modulated Bernoulli process (on/off MMPP).  The
-    source alternates between geometric-length ON bursts, during which it
-    injects at an elevated rate, and OFF silences.  The long-run average
-    rate matches the configured ``rate`` (as long as the ON-state rate
-    does not saturate at 1.0), so bursty and Bernoulli runs are
-    load-comparable; only the variance differs.
-:class:`TraceInjector`
-    Replays a fixed, recorded list of arrival cycles -- the deterministic
-    leg of the trace record/replay loop in :mod:`repro.workloads.trace`.
-    Consumes no randomness at all.
+.. deprecated::
+    :class:`BurstyInjector` and :class:`TraceInjector` (and the
+    ``fires()`` / ``arrivals_in()`` block contract they implement) now
+    live in :mod:`repro.traffic.arrival`, next to
+    :class:`~repro.traffic.arrival.BernoulliInjector` and the shared
+    :class:`~repro.traffic.arrival.ArrivalModel` protocol -- one module
+    instead of two parallel definitions of the same contract.  This
+    module re-exports them so existing imports keep working; new code
+    should import from :mod:`repro.traffic.arrival`.
 """
 
 from __future__ import annotations
 
-import math
-import random
-from typing import List, Sequence
+from repro.traffic.arrival import (ArrivalModel, BurstyInjector,
+                                   TraceInjector)
 
-__all__ = ["BurstyInjector", "TraceInjector"]
-
-_LOG = math.log
-_LOG1P = math.log1p
-
-
-class BurstyInjector:
-    """Two-state on/off Markov-modulated Bernoulli arrival process.
-
-    Parameters
-    ----------
-    rate:
-        Long-run average arrivals per cycle (the same knob every other
-        injector has).
-    rng:
-        Private per-node stream (see :class:`repro.sim.rng.RngStreams`).
-    on_frac:
-        Target fraction of time spent in the ON state, in (0, 1).
-    burst_len:
-        Mean ON-dwell length in cycles (geometric, support >= 1).  The
-        OFF dwell mean is derived as ``burst_len * (1-on_frac)/on_frac``
-        so the duty cycle comes out at ``on_frac`` -- but dwell lengths
-        are at least one whole cycle, so when that derived mean falls
-        below 1 it is clamped and the *achievable* duty cycle
-        (``burst_len / (burst_len + off_mean)``) is what the ON-state
-        rate is scaled against.  The long-run average therefore matches
-        ``rate`` whenever ``rate / duty`` stays below the 1.0
-        arrival-per-cycle ceiling, clamped or not.
-
-    RNG discipline: one draw per state toggle (the dwell length) plus
-    one draw per ON cycle (the arrival coin).  OFF dwells consume
-    nothing, so :meth:`arrivals_in` skips them in O(1) and the active
-    backend's idle fast-forward keeps its O(arrivals)-ish cost profile.
-    """
-
-    __slots__ = ("rate", "rate_on", "on_frac", "burst_len", "rng",
-                 "arrivals", "_p_on", "_p_off", "_on", "_dwell")
-
-    def __init__(self, rate: float, rng: random.Random,
-                 on_frac: float = 0.3, burst_len: float = 8.0):
-        if not 0.0 <= rate <= 1.0:
-            raise ValueError(f"rate must be in [0, 1] (got {rate})")
-        if not 0.0 < on_frac < 1.0:
-            raise ValueError(
-                f"on_frac must be in (0, 1) (got {on_frac}); "
-                f"on_frac=1 is plain Bernoulli -- use 'bernoulli'")
-        if burst_len < 1.0:
-            raise ValueError(
-                f"burst_len must be >= 1 cycle (got {burst_len})")
-        self.rate = rate
-        self.on_frac = on_frac
-        self.burst_len = burst_len
-        self.rng = rng
-        self.arrivals = 0
-        #: geometric dwell parameters (support >= 1, mean 1/p); dwells
-        #: are whole cycles, so the OFF mean saturates at 1 and the
-        #: achievable duty cycle is derived from the clamped means
-        self._p_on = min(1.0, 1.0 / burst_len)
-        off_mean = max(1.0, burst_len * (1.0 - on_frac) / on_frac)
-        self._p_off = 1.0 / off_mean
-        duty = burst_len / (burst_len + off_mean)
-        self.rate_on = min(1.0, rate / duty) if rate > 0.0 else 0.0
-        self._on = False
-        self._dwell = self._draw_dwell(self._p_off)
-
-    # ------------------------------------------------------------------
-    def _draw_dwell(self, p: float) -> int:
-        """Geometric dwell length >= 1 with mean 1/p (no draw at p=1)."""
-        if p >= 1.0:
-            return 1
-        return 1 + int(_LOG(1.0 - self.rng.random()) / _LOG1P(-p))
-
-    def _toggle(self) -> None:
-        self._on = not self._on
-        self._dwell = self._draw_dwell(self._p_on if self._on
-                                       else self._p_off)
-
-    def _coin(self) -> bool:
-        r = self.rate_on
-        if r <= 0.0:
-            return False
-        if r >= 1.0:
-            return True
-        return self.rng.random() < r
-
-    # ------------------------------------------------------------------
-    def fires(self) -> bool:
-        """One per-cycle arrival check."""
-        if self._dwell == 0:
-            self._toggle()
-        self._dwell -= 1
-        if self._on and self._coin():
-            self.arrivals += 1
-            return True
-        return False
-
-    def arrivals_in(self, start: int, stop: int) -> List[int]:
-        """All arrival cycles in ``[start, stop)``, consumed in bulk.
-
-        Leaves state and RNG exactly where ``stop - start`` successive
-        :meth:`fires` calls would: OFF spans are skipped without draws,
-        ON cycles flip the same per-cycle coin in the same order.
-        """
-        out: List[int] = []
-        t = start
-        while t < stop:
-            if self._dwell == 0:
-                self._toggle()
-            span = min(self._dwell, stop - t)
-            if not self._on:
-                self._dwell -= span
-                t += span
-                continue
-            self._dwell -= span
-            if self.rate_on <= 0.0:
-                t += span
-                continue
-            for _ in range(span):
-                if self._coin():
-                    out.append(t)
-                    self.arrivals += 1
-                t += 1
-        return out
-
-
-class TraceInjector:
-    """Replays a recorded arrival train, one node's worth.
-
-    ``cycles`` is a strictly-increasing sequence of arrival cycles
-    *relative to the injector's first consumed cycle* (a fresh session
-    starts its clock at 0, so absolute and relative coincide -- the
-    common case).  Like the stochastic injectors, the process is
-    position-based: the k-th consumed cycle corresponds to recorded
-    cycle k, wherever in absolute time the driver happens to consume it.
-    Consumes no randomness.
-    """
-
-    __slots__ = ("cycles", "arrivals", "_i", "_pos")
-
-    def __init__(self, cycles: Sequence[int]):
-        cyc = [int(c) for c in cycles]
-        if any(c < 0 for c in cyc):
-            raise ValueError("trace cycles must be non-negative")
-        if any(b <= a for a, b in zip(cyc, cyc[1:])):
-            raise ValueError(
-                "trace cycles must be strictly increasing per node "
-                "(at most one arrival per node per cycle)")
-        self.cycles = cyc
-        self.arrivals = 0
-        self._i = 0          # next recorded arrival to replay
-        self._pos = 0        # cycles consumed so far
-
-    def fires(self) -> bool:
-        """One per-cycle arrival check."""
-        t = self._pos
-        self._pos = t + 1
-        i = self._i
-        if i < len(self.cycles) and self.cycles[i] == t:
-            self._i = i + 1
-            self.arrivals += 1
-            return True
-        return False
-
-    def arrivals_in(self, start: int, stop: int) -> List[int]:
-        """All arrival cycles in ``[start, stop)``, consumed in bulk."""
-        out: List[int] = []
-        if stop <= start:
-            return out
-        span = stop - start
-        base = self._pos
-        cycles = self.cycles
-        i = self._i
-        while i < len(cycles):
-            rel = cycles[i] - base
-            if rel >= span:
-                break
-            out.append(start + rel)
-            self.arrivals += 1
-            i += 1
-        self._i = i
-        self._pos = base + span
-        return out
+__all__ = ["ArrivalModel", "BurstyInjector", "TraceInjector"]

@@ -29,19 +29,20 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.traffic.generators import (BernoulliInjector,
-                                      BitComplementPattern,
-                                      DestinationPattern, HotspotPattern,
-                                      NeighbourPattern, PermutationPattern,
-                                      TransposePattern, UniformPattern)
-from repro.workloads.arrivals import BurstyInjector, TraceInjector
+from repro.traffic.arrival import (BernoulliInjector, BurstyInjector,
+                                   TraceInjector)
+from repro.traffic.generators import (BitComplementPattern,
+                                      DestinationPattern, DirectoryPattern,
+                                      HotspotPattern, NeighbourPattern,
+                                      PermutationPattern, TransposePattern,
+                                      UniformPattern)
 from repro.workloads.trace import Trace
 
-__all__ = ["ScenarioInfo", "ArrivalModel", "parse_spec", "format_spec",
-           "list_scenarios", "register_scenario", "get_scenario",
-           "check_spec", "resolve_pattern", "resolve_arrival",
-           "resolve_workload", "check_workload", "parse_classes",
-           "scenario_table"]
+__all__ = ["ScenarioInfo", "ResolvedArrival", "ArrivalModel", "parse_spec",
+           "format_spec", "list_scenarios", "register_scenario",
+           "get_scenario", "check_spec", "resolve_pattern",
+           "resolve_arrival", "resolve_workload", "check_workload",
+           "parse_classes", "scenario_table"]
 
 PATTERN = "pattern"
 ARRIVAL = "arrival"
@@ -62,7 +63,7 @@ class ScenarioInfo:
     #: coerced), e.g. file paths that merely *look* numeric ("1e5")
     string_params: Tuple[str, ...] = ()
     #: pattern: build(n, **params) -> DestinationPattern
-    #: arrival: build(**params) -> ArrivalModel
+    #: arrival: build(**params) -> ResolvedArrival
     build: Callable = None          # type: ignore[assignment]
 
     def spec_example(self) -> str:
@@ -72,21 +73,25 @@ class ScenarioInfo:
             f"{k}=<{k}>" for k in self.params)
 
 
-class ArrivalModel:
+class ResolvedArrival:
     """A resolved temporal model: one injector factory for all nodes.
 
     Callable as ``model(node, rate, rng) -> injector`` -- the signature
-    :class:`~repro.traffic.mix.TrafficMix` expects.  ``nodes`` is the
-    node count the model is pinned to (trace replay), or ``None`` for
-    size-agnostic stochastic models.
+    :class:`~repro.traffic.mix.TrafficMix` expects; the injectors it
+    builds implement the :class:`~repro.traffic.arrival.ArrivalModel`
+    protocol.  ``nodes`` is the node count the model is pinned to
+    (trace replay), or ``None`` for size-agnostic stochastic models.
+    ``reactive`` mirrors the protocol's capability flag at the factory
+    level, so drivers can classify a mix before building injectors.
     """
 
     def __init__(self, name: str, spec: str,
                  make: Callable[[int, float, random.Random], object],
-                 nodes: Optional[int] = None):
+                 nodes: Optional[int] = None, reactive: bool = False):
         self.name = name
         self.spec = spec
         self.nodes = nodes
+        self.reactive = reactive
         self._make = make
         #: v2-trace replay payload (per-node event lists); when set,
         #: :class:`~repro.traffic.mix.TrafficMix` bypasses the injector
@@ -98,7 +103,13 @@ class ArrivalModel:
         return self._make(node, rate, rng)
 
     def __repr__(self) -> str:   # pragma: no cover - debugging aid
-        return f"<ArrivalModel {self.spec!r}>"
+        return f"<ResolvedArrival {self.spec!r}>"
+
+
+#: Deprecated alias: this factory class was named ``ArrivalModel``
+#: before the protocol of the same name was extracted into
+#: :mod:`repro.traffic.arrival`; the old import path keeps working.
+ArrivalModel = ResolvedArrival
 
 
 _REGISTRY: Dict[str, ScenarioInfo] = {}
@@ -284,7 +295,7 @@ def resolve_pattern(spec: str, n: int) -> DestinationPattern:
     return info.build(n, **params)
 
 
-def resolve_arrival(spec: str) -> ArrivalModel:
+def resolve_arrival(spec: str) -> ResolvedArrival:
     """Build the arrival model a spec string names."""
     info, params = _resolve(spec, ARRIVAL)
     model = info.build(**params)
@@ -424,13 +435,19 @@ def resolve_workload(spec: str, n: int):
     ``classes:<grammar>`` builds the declared mix verbatim; any other
     name is looked up in the registry's application-workload scenarios
     (``cache_coherence``, ``allreduce``, ...), whose ``build(n,
-    **params)`` returns the class list.
+    **params)`` returns either a plain class list or a
+    :class:`~repro.workloads.closedloop.ClosedLoopWorkload` bundle
+    (passed through as-is for the session to wire an engine around).
     """
+    from repro.workloads.closedloop import ClosedLoopWorkload
     name, body = _split_workload(spec)
     if name == "classes":
         return parse_classes(body, spec)
     info, params = _resolve(spec, WORKLOAD)
-    classes = list(info.build(n, **params))
+    built = info.build(n, **params)
+    if isinstance(built, ClosedLoopWorkload):
+        return built
+    classes = list(built)
     if not classes:
         raise ValueError(f"workload {info.name!r} built no classes")
     return classes
@@ -489,26 +506,46 @@ def _build_permutation(n: int, seed: int = 0) -> DestinationPattern:
     return PermutationPattern(n, seed=seed)
 
 
-def _build_bernoulli() -> ArrivalModel:
-    return ArrivalModel(
+def _build_directory(n: int, quadrants: int = 4, local: float = 0.5
+                     ) -> DestinationPattern:
+    return DirectoryPattern(n, quadrants=quadrants, local=local)
+
+
+def _build_bernoulli() -> ResolvedArrival:
+    return ResolvedArrival(
         "bernoulli", "bernoulli",
         lambda node, rate, rng: BernoulliInjector(rate, rng))
 
 
-def _build_bursty(on: float = 0.3, **kw) -> ArrivalModel:
+def _build_bursty(on: float = 0.3, **kw) -> ResolvedArrival:
     burst_len = kw.pop("len", 8)
     if kw:
         raise ValueError(f"unknown bursty parameter(s) {sorted(kw)}")
-    return ArrivalModel(
+    return ResolvedArrival(
         "bursty", f"bursty:on={on},len={burst_len}",
         lambda node, rate, rng: BurstyInjector(
             rate, rng, on_frac=on, burst_len=burst_len))
 
 
-def _build_trace(path: str) -> ArrivalModel:
+def _build_closedloop(window: int = 4) -> ResolvedArrival:
+    # Imported lazily: closedloop imports TrafficClass from the mix
+    # module, which imports this registry lazily in turn; resolving at
+    # call time keeps the module graph acyclic.
+    from repro.workloads.closedloop import ClosedLoopSource
+    if window < 1:
+        raise ValueError(
+            f"closedloop window must be >= 1 outstanding message "
+            f"(got {window})")
+    return ResolvedArrival(
+        "closedloop", f"closedloop:window={window}",
+        lambda node, rate, rng: ClosedLoopSource(rate, rng, window=window),
+        reactive=True)
+
+
+def _build_trace(path: str) -> ResolvedArrival:
     trace = Trace.load(str(path))
     per_node = trace.per_node()
-    model = ArrivalModel(
+    model = ResolvedArrival(
         "trace", f"trace:path={path}",
         lambda node, rate, rng: TraceInjector(per_node[node]),
         nodes=trace.n)
@@ -551,6 +588,14 @@ register_scenario(ScenarioInfo(
     summary="a fixed random derangement: each node targets one partner",
     params={"seed": "derangement seed (default 0)"},
     build=_build_permutation))
+register_scenario(ScenarioInfo(
+    name="directory", kind=PATTERN,
+    summary="directory-home locality: probability `local` of a home in "
+            "the source's NUMA quadrant, else a remote quadrant",
+    params={"quadrants": "contiguous home arcs the ring splits into "
+                         "(default 4)",
+            "local": "probability of an own-quadrant home (default 0.5)"},
+    build=_build_directory))
 
 register_scenario(ScenarioInfo(
     name="bernoulli", kind=ARRIVAL,
@@ -563,6 +608,14 @@ register_scenario(ScenarioInfo(
     params={"on": "stationary ON fraction in (0,1) (default 0.3)",
             "len": "mean burst length in cycles (default 8)"},
     build=_build_bursty))
+register_scenario(ScenarioInfo(
+    name="closedloop", kind=ARRIVAL,
+    summary="reactive closed-loop source: stalls while `window` "
+            "requests are in flight (needs a closed-loop workload to "
+            "feed completions back)",
+    params={"window": "max outstanding requests per node (default 4)"},
+    aliases=("closed-loop", "closed_loop"),
+    build=_build_closedloop))
 register_scenario(ScenarioInfo(
     name="trace", kind=ARRIVAL,
     summary="deterministic replay of a recorded JSONL arrival trace "

@@ -56,10 +56,10 @@ def make_config(kind: str = "quarc", n: int = 8, msg_len: int = 4,
                 workload: str = "", faults: str = "",
                 **cfg) -> RunConfig:
     """A :class:`RunConfig` with fuzz-friendly defaults."""
-    spec = WorkloadSpec(kind=kind, n=n, msg_len=msg_len, beta=beta,
-                        rate=rate, cycles=cycles, warmup=warmup, seed=seed,
-                        pattern=pattern, arrival=arrival,
-                        workload=workload, faults=faults)
+    spec = WorkloadSpec.parse(kind=kind, n=n, msg_len=msg_len, beta=beta,
+                              rate=rate, cycles=cycles, warmup=warmup,
+                              seed=seed, pattern=pattern, arrival=arrival,
+                              workload=workload, faults=faults)
     return RunConfig(spec=spec, **cfg)
 
 
@@ -301,6 +301,11 @@ _FUZZ_MULTICLASS_P = 0.25
 #: routers dying mid-run), exercising reroute, purge and drop
 #: accounting on every backend
 _FUZZ_FAULT_P = 0.25
+#: fraction of fuzz cases transformed into a reactive closed-loop
+#: workload (request/reply windows or phased streams), exercising the
+#: per-cycle reactive path -- and the delivery-feedback determinism it
+#: depends on -- in every backend
+_FUZZ_CLOSEDLOOP_P = 0.25
 
 
 def _random_classes_spec(rng: random.Random, n: int) -> str:
@@ -321,6 +326,36 @@ def _random_classes_spec(rng: random.Random, n: int) -> str:
             chunk += ",arrival=bursty:on=0.3,len=6"
         chunks.append(chunk)
     return "classes:" + ";".join(chunks)
+
+
+def _random_closedloop_spec(crng: random.Random) -> str:
+    """A randomized closed-loop app-model spec (coherence request/reply
+    windows or phased all-reduce iterations)."""
+    if crng.random() < 0.5:
+        storms = "true" if crng.random() < 0.5 else "false"
+        return (f"cache_coherence:storms={storms},"
+                f"window={crng.randrange(2, 7)},"
+                f"service={crng.choice((0, 4, 12))},"
+                f"local={crng.choice((0.0, 0.5, 0.9))}")
+    return (f"allreduce:window={crng.randrange(2, 5)},"
+            f"quota={crng.randrange(4, 9)},"
+            f"gap={crng.choice((10, 25, 40))}")
+
+
+def _closedloop_variant(cfg: RunConfig, crng: random.Random) -> RunConfig:
+    """Transform a drawn fuzz case into a reactive closed-loop one.
+
+    Faults are cleared (closed-loop x faults is a rejected axis
+    combination) and the single-class axes reset to their defaults; the
+    drawn kind / size / horizon / seed / ablation switches survive, so
+    the closed-loop corpus spans the same topology space as the open
+    one."""
+    from dataclasses import replace
+    spec = replace(cfg.spec,
+                   workload=_random_closedloop_spec(crng),
+                   rate=crng.choice((0.5, 1.0, 2.0)),
+                   pattern="uniform", arrival="bernoulli", faults="")
+    return replace(cfg, spec=spec)
 
 
 def _random_fault_plan(frng: random.Random, n: int, cycles: int) -> str:
@@ -360,6 +395,10 @@ def random_configs(seed: int, count: int,
     Independently, about a quarter carry a randomized **fault plan**
     (links / routers dying mid-run); the fault draw uses a per-case rng
     so the fault-free corpus is byte-identical to the historical one.
+    Finally, about a quarter are transformed into reactive
+    **closed-loop** workloads (coherence request/reply windows or
+    phased all-reduce iterations) -- again via a per-case rng, so every
+    untransformed case matches its historical twin exactly.
     """
     rng = random.Random(seed)
     for i in range(count):
@@ -375,27 +414,34 @@ def random_configs(seed: int, count: int,
         faults = (_random_fault_plan(frng, n, cycles)
                   if frng.random() < _FUZZ_FAULT_P else "")
         if rng.random() < _FUZZ_MULTICLASS_P:
-            yield i, make_config(
+            cfg = make_config(
                 kind=kind, n=n, msg_len=4, beta=0.0,
                 rate=round(rng.choice((0.5, 1.0, 2.0, 8.0)), 5),
                 cycles=cycles, warmup=warmup,
                 seed=rng.randrange(1, 10_000),
                 workload=_random_classes_spec(rng, n),
                 faults=faults, **cfg_extra)
-            continue
-        pattern = rng.choice(_FUZZ_PATTERNS)
-        if n & (n - 1) and pattern in _POW2_ONLY_PATTERNS:
-            pattern = "uniform"
-        yield i, make_config(
-            kind=kind, n=n,
-            msg_len=rng.choice((1, 2, 4, 9, 16)),
-            beta=beta,
-            rate=round(rate, 5),
-            cycles=cycles, warmup=warmup,
-            seed=rng.randrange(1, 10_000),
-            pattern=pattern,
-            arrival=rng.choice(_FUZZ_ARRIVALS),
-            faults=faults, **cfg_extra)
+        else:
+            pattern = rng.choice(_FUZZ_PATTERNS)
+            if n & (n - 1) and pattern in _POW2_ONLY_PATTERNS:
+                pattern = "uniform"
+            cfg = make_config(
+                kind=kind, n=n,
+                msg_len=rng.choice((1, 2, 4, 9, 16)),
+                beta=beta,
+                rate=round(rate, 5),
+                cycles=cycles, warmup=warmup,
+                seed=rng.randrange(1, 10_000),
+                pattern=pattern,
+                arrival=rng.choice(_FUZZ_ARRIVALS),
+                faults=faults, **cfg_extra)
+        # the closed-loop transform draws from a per-case rng so the
+        # untransformed corpus stays byte-identical to the historical
+        # one (same shared-rng consumption in every branch above)
+        crng = random.Random(f"closed:{seed}:{i}")
+        if crng.random() < _FUZZ_CLOSEDLOOP_P:
+            cfg = _closedloop_variant(cfg, crng)
+        yield i, cfg
 
 
 # ----------------------------------------------------------------------

@@ -73,6 +73,13 @@ GOLDEN_CONFIGS: List[Tuple[str, WorkloadSpec, Dict]] = [
      WorkloadSpec(kind="spidergon", n=16, msg_len=8, beta=0.0, rate=1.0,
                   cycles=2500, warmup=500, seed=11,
                   workload="allreduce:chunk=6,rate=0.008"), {}),
+    # closed-loop application engine: pins the reactive feedback path
+    # end to end (directory request/reply, window stalls, completion
+    # accounting in extra["classes"]) on top of the same coherence mix
+    ("quarc16_cache_coherence_closed",
+     WorkloadSpec(kind="quarc", n=16, msg_len=8, beta=0.0, rate=1.0,
+                  cycles=2500, warmup=500, seed=11,
+                  workload="cache_coherence:storms=true,window=4"), {}),
     # fault-injection fixtures: pin the degradation semantics (reroute
     # choices, purge set, drop accounting in extra["faults"]) -- one
     # explicit-link plan on the big ring, one router-death plan where

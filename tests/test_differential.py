@@ -107,6 +107,16 @@ class TestDifferentialFuzz:
             assert expected > 50 * len(cases), (
                 "fuzz corpus is near-degenerate: too few expected "
                 "arrivals to exercise the step kernels")
+        # the reactive closed-loop slice must survive corpus
+        # regeneration: it is the only fuzz coverage of the per-cycle
+        # feedback path (window stalls, replies, barrier phases)
+        closed = [c for _, c in SMOKE_CASES + NIGHTLY_CASES
+                  if "window=" in c.spec.workload]
+        assert len(closed) >= (len(SMOKE_CASES) + len(NIGHTLY_CASES)) // 8
+        assert any(c.spec.workload.startswith("cache_coherence")
+                   for c in closed)
+        assert any(c.spec.workload.startswith("allreduce")
+                   for c in closed)
 
     @pytest.mark.slow
     @pytest.mark.parametrize("case", NIGHTLY_CASES,
